@@ -1,0 +1,85 @@
+// Shared helpers for the benchmark/reproduction harnesses.
+//
+// Every bench prints the paper's rows next to the measured ones. Workload
+// sizes scale with the SCALOCATE_SCALE environment variable (default 1.0;
+// e.g. SCALOCATE_SCALE=4 for a deeper run, =0.5 for a smoke run).
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+
+#include "core/locator.hpp"
+#include "core/metrics.hpp"
+#include "trace/scenario.hpp"
+
+namespace scalocate::bench {
+
+inline double scale() {
+  if (const char* s = std::getenv("SCALOCATE_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+inline std::size_t scaled(std::size_t base) {
+  const auto v = static_cast<std::size_t>(static_cast<double>(base) * scale());
+  return v > 0 ? v : 1;
+}
+
+/// Epochs used by the bench trainings (env SCALOCATE_EPOCHS, default 10:
+/// enough for >90% test accuracy on the scaled datasets while keeping the
+/// full suite within minutes; see EXPERIMENTS.md).
+inline std::size_t bench_epochs() {
+  if (const char* s = std::getenv("SCALOCATE_EPOCHS")) {
+    const auto v = static_cast<std::size_t>(std::atoi(s));
+    if (v > 0) return v;
+  }
+  return 10;
+}
+
+struct Timer {
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+};
+
+/// Trains a locator for one (cipher, RD) pair on freshly acquired traces.
+struct TrainedSetup {
+  core::CoLocator locator;
+  core::TrainReport report;
+  crypto::Key16 key;
+  trace::ScenarioConfig scenario;
+};
+
+inline TrainedSetup train_locator(crypto::CipherId cipher,
+                                  trace::RandomDelayConfig rd,
+                                  std::uint64_t seed,
+                                  std::size_t n_captures = 512,
+                                  std::size_t noise_instr = 150000) {
+  trace::ScenarioConfig sc;
+  sc.cipher = cipher;
+  sc.random_delay = rd;
+  sc.seed = seed;
+
+  crypto::Key16 key{};
+  for (int i = 0; i < 16; ++i)
+    key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(0x10 + i);
+
+  auto acq = trace::acquire_cipher_traces(sc, scaled(n_captures), key);
+  auto noise = trace::acquire_noise_trace(sc, scaled(noise_instr));
+
+  core::LocatorConfig lc;
+  lc.params = core::PipelineParams::defaults_for(cipher);
+  lc.params.epochs = bench_epochs();
+  lc.seed = seed ^ 0x10cULL;
+  TrainedSetup setup{core::CoLocator(lc), {}, key, sc};
+  setup.report = setup.locator.train(acq, noise);
+  return setup;
+}
+
+}  // namespace scalocate::bench

@@ -1,0 +1,22 @@
+// Reproduces Figure 2: the 1D CNN architecture summary, both the paper's
+// exact configuration and the scaled configuration used on the simulator.
+#include <cstdio>
+
+#include "core/model.hpp"
+
+using namespace scalocate;
+
+int main() {
+  std::printf("=== Figure 2: employed 1D CNN architecture ===\n\n");
+  std::printf("--- paper configuration ---\n%s\n",
+              core::describe_paper_cnn(core::CnnConfig::paper()).c_str());
+  std::printf("--- scaled configuration (simulator windows) ---\n%s\n",
+              core::describe_paper_cnn(core::CnnConfig::scaled()).c_str());
+
+  auto net = core::build_paper_cnn(core::CnnConfig::scaled());
+  std::size_t params = 0;
+  for (auto* p : net->params()) params += p->value.numel();
+  std::printf("Trainable parameters (scaled config): %zu\n", params);
+  std::printf("Layer stack:\n%s", net->summary().c_str());
+  return 0;
+}

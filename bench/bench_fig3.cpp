@@ -1,0 +1,45 @@
+// Reproduces Figure 3: test confusion matrices for all five ciphers under
+// the RD-4 random delay. One CNN is trained per cipher on an ad-hoc dataset
+// (Section IV-B), then evaluated on the held-out 5% test split.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace scalocate;
+
+int main() {
+  std::printf("=== Figure 3: test confusion matrices (RD-4) ===\n");
+  std::printf("(paper values in parentheses; row = true class)\n\n");
+
+  // Paper Figure 3 percentages: {tn, fp, fn, tp} per cipher.
+  struct PaperCm {
+    crypto::CipherId id;
+    double tn, fp, fn, tp;
+  };
+  const PaperCm paper[] = {
+      {crypto::CipherId::kAes128, 99.56, 0.44, 2.70, 97.30},
+      {crypto::CipherId::kAesMasked, 99.87, 0.13, 0.07, 99.93},
+      {crypto::CipherId::kCamellia128, 99.92, 0.08, 0.00, 100.00},
+      {crypto::CipherId::kClefia128, 88.08, 11.92, 0.03, 99.97},
+      {crypto::CipherId::kSimon128, 94.30, 5.70, 7.90, 92.10},
+  };
+
+  bench::Timer total;
+  for (const auto& ref : paper) {
+    bench::Timer t;
+    auto setup = bench::train_locator(ref.id, trace::RandomDelayConfig::kRd4,
+                                      0xF16'3000 + static_cast<int>(ref.id));
+    const auto& cm = setup.report.test_confusion;
+    std::printf("--- %s (trained %.0fs, %zu test windows) ---\n",
+                crypto::cipher_display_name(ref.id).c_str(), t.seconds(),
+                cm.total());
+    std::printf("  true 0: %6.2f%% (%.2f)   %6.2f%% (%.2f)\n",
+                100.0 * cm.rate(0, 0), ref.tn, 100.0 * cm.rate(0, 1), ref.fp);
+    std::printf("  true 1: %6.2f%% (%.2f)   %6.2f%% (%.2f)\n",
+                100.0 * cm.rate(1, 0), ref.fn, 100.0 * cm.rate(1, 1), ref.tp);
+    std::printf("  accuracy: %.2f%%\n\n", 100.0 * cm.accuracy());
+  }
+  std::printf("total: %.0fs\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Engineering micro-benchmarks (google-benchmark): throughput of the hot
+// paths -- Conv1d, full CNN window scoring, CPA trace accumulation, the SoC
+// simulator, and the segmentation DSP blocks.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/signal.hpp"
+#include "core/model.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/init.hpp"
+#include "sca/cpa.hpp"
+#include "trace/scenario.hpp"
+#include "trace/soc_simulator.hpp"
+
+using namespace scalocate;
+
+namespace {
+
+nn::Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed) {
+  nn::Tensor t(std::move(shape));
+  Rng rng(seed);
+  for (float& v : t.flat()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+void BM_Conv1dForward(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  nn::Conv1d conv(channels, channels, 16);
+  Rng rng(1);
+  nn::he_normal_init(conv.weight().value, rng);
+  const auto x = random_tensor({8, channels, 256}, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+  state.SetItemsProcessed(state.iterations() * 8 * 256);
+}
+BENCHMARK(BM_Conv1dForward)->Arg(16)->Arg(32);
+
+void BM_PaperCnnWindowScore(benchmark::State& state) {
+  auto net = core::build_paper_cnn(core::CnnConfig::scaled());
+  net->set_training(false);
+  const auto x = random_tensor({64, 1, 256}, 3);
+  for (auto _ : state) benchmark::DoNotOptimize(net->forward(x));
+  state.SetItemsProcessed(state.iterations() * 64);  // windows per second
+}
+BENCHMARK(BM_PaperCnnWindowScore);
+
+void BM_CpaAddTrace(benchmark::State& state) {
+  sca::CpaConfig cfg;
+  cfg.segment_length = 2048;
+  cfg.aggregate_bin = 32;
+  sca::CpaAttack cpa(cfg);
+  Rng rng(4);
+  std::vector<float> segment(2048);
+  for (auto& v : segment) v = static_cast<float>(rng.normal());
+  crypto::Block16 pt{};
+  for (auto _ : state) {
+    rng.fill_bytes(pt.data(), 16);
+    cpa.add_trace(segment, pt);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CpaAddTrace);
+
+void BM_SimulatorAesTrace(benchmark::State& state) {
+  trace::SocConfig cfg;
+  cfg.random_delay = trace::RandomDelayConfig::kRd4;
+  trace::SocSimulator sim(cfg);
+  auto cipher = crypto::make_cipher(crypto::CipherId::kAes128);
+  cipher->set_key(crypto::Key16{});
+  std::size_t samples = 0;
+  for (auto _ : state) {
+    trace::Trace t;
+    sim.run_cipher(*cipher, crypto::Block16{}, t);
+    samples += t.size();
+    benchmark::DoNotOptimize(t.samples.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(samples));
+}
+BENCHMARK(BM_SimulatorAesTrace);
+
+void BM_MedianFilter(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<float> xs(100000);
+  for (auto& v : xs) v = rng.bernoulli(0.1) ? 1.f : -1.f;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(signal::median_filter(xs, 7));
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_MedianFilter);
+
+void BM_NormalizedCrossCorrelation(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<float> sig(50000), ker(512);
+  for (auto& v : sig) v = static_cast<float>(rng.normal());
+  for (auto& v : ker) v = static_cast<float>(rng.normal());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(signal::normalized_cross_correlate(sig, ker));
+  state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_NormalizedCrossCorrelation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,171 @@
+// Shows how to plug a *custom* cryptographic operation into the framework:
+// implement crypto::BlockCipher (+ event emission), then the acquisition,
+// training, and localization pipeline works unchanged.
+//
+//   $ ./examples/train_custom_cipher
+//
+// The toy cipher here is a 32-round XTEA-like ARX network -- not the paper's
+// workload, precisely the point: the locator is cipher-agnostic.
+#include <cstdio>
+
+#include "core/locator.hpp"
+#include "core/metrics.hpp"
+#include "trace/scenario.hpp"
+
+using namespace scalocate;
+
+namespace {
+
+/// Toy 128-bit ARX block cipher (two independent XTEA-like 64-bit halves).
+/// Demonstration only -- do not use for actual cryptography.
+class ToyArx final : public crypto::BlockCipher {
+ public:
+  std::string name() const override { return "ToyARX-128"; }
+
+  void set_key(const crypto::Key16& key) override {
+    for (int i = 0; i < 4; ++i) {
+      k_[static_cast<std::size_t>(i)] = 0;
+      for (int j = 0; j < 4; ++j)
+        k_[static_cast<std::size_t>(i)] =
+            (k_[static_cast<std::size_t>(i)] << 8) |
+            key[static_cast<std::size_t>(4 * i + j)];
+    }
+    has_key_ = true;
+  }
+
+  crypto::Block16 encrypt(const crypto::Block16& pt,
+                          crypto::EventSink* sink) const override {
+    crypto::Tracer tr(sink);
+    crypto::Block16 out{};
+    for (int half = 0; half < 2; ++half) {
+      std::uint32_t v0 = 0, v1 = 0;
+      for (int j = 0; j < 4; ++j) {
+        v0 = (v0 << 8) | pt[static_cast<std::size_t>(8 * half + j)];
+        v1 = (v1 << 8) | pt[static_cast<std::size_t>(8 * half + 4 + j)];
+      }
+      tr.emit(crypto::OpClass::kLoad, v0, 32);
+      tr.emit(crypto::OpClass::kLoad, v1, 32);
+      std::uint32_t sum = 0;
+      for (int round = 0; round < 32; ++round) {
+        v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + k_[sum & 3]);
+        tr.emit(crypto::OpClass::kShift, v1 << 4, 32);
+        tr.emit(crypto::OpClass::kArith, v0, 32);
+        sum += 0x9e3779b9u;
+        v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + k_[(sum >> 11) & 3]);
+        tr.emit(crypto::OpClass::kArith, v1, 32);
+      }
+      for (int j = 0; j < 4; ++j) {
+        out[static_cast<std::size_t>(8 * half + j)] =
+            static_cast<std::uint8_t>(v0 >> (24 - 8 * j));
+        out[static_cast<std::size_t>(8 * half + 4 + j)] =
+            static_cast<std::uint8_t>(v1 >> (24 - 8 * j));
+      }
+      tr.emit(crypto::OpClass::kStore, v0, 32);
+      tr.emit(crypto::OpClass::kStore, v1, 32);
+    }
+    return out;
+  }
+
+  crypto::Block16 decrypt(const crypto::Block16& ct) const override {
+    crypto::Block16 out{};
+    for (int half = 0; half < 2; ++half) {
+      std::uint32_t v0 = 0, v1 = 0;
+      for (int j = 0; j < 4; ++j) {
+        v0 = (v0 << 8) | ct[static_cast<std::size_t>(8 * half + j)];
+        v1 = (v1 << 8) | ct[static_cast<std::size_t>(8 * half + 4 + j)];
+      }
+      std::uint32_t sum = 0x9e3779b9u * 32;
+      for (int round = 0; round < 32; ++round) {
+        v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + k_[(sum >> 11) & 3]);
+        sum -= 0x9e3779b9u;
+        v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + k_[sum & 3]);
+      }
+      for (int j = 0; j < 4; ++j) {
+        out[static_cast<std::size_t>(8 * half + j)] =
+            static_cast<std::uint8_t>(v0 >> (24 - 8 * j));
+        out[static_cast<std::size_t>(8 * half + 4 + j)] =
+            static_cast<std::uint8_t>(v1 >> (24 - 8 * j));
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::array<std::uint32_t, 4> k_{};
+  bool has_key_ = false;
+};
+
+}  // namespace
+
+int main() {
+  // Acquire captures for the custom cipher with a hand-rolled campaign
+  // (acquire_cipher_traces works on the built-in registry; custom ciphers
+  // drive the SocSimulator directly).
+  trace::SocConfig soc;
+  soc.random_delay = trace::RandomDelayConfig::kRd2;
+  soc.seed = 3;
+  trace::SocSimulator sim(soc);
+
+  ToyArx cipher;
+  crypto::Key16 key{};
+  key[0] = 0x01;
+  cipher.set_key(key);
+
+  std::printf("acquiring 256 ToyARX captures...\n");
+  Rng rng(5);
+  trace::CipherAcquisition acq;
+  acq.key = key;
+  for (int i = 0; i < 256; ++i) {
+    trace::Trace t;
+    sim.run_nop_sled(192, t);
+    crypto::Block16 pt{};
+    rng.fill_bytes(pt.data(), 16);
+    sim.run_cipher(cipher, pt, t);
+    const auto cut = trace::detect_nop_boundary(t.samples, 4);
+    trace::CipherCapture cap;
+    const auto start = cut > 0 && cut < t.size() ? cut : t.cos[0].start_sample;
+    cap.samples.assign(t.samples.begin() + static_cast<std::ptrdiff_t>(start),
+                       t.samples.end());
+    cap.plaintext = pt;
+    cap.ciphertext = t.cos[0].ciphertext;
+    acq.captures.push_back(std::move(cap));
+  }
+  std::printf("mean CO length: %zu samples\n",
+              acq.captures.front().samples.size());
+
+  trace::ScenarioConfig noise_sc;
+  noise_sc.random_delay = soc.random_delay;
+  noise_sc.seed = 9;
+  const auto noise = trace::acquire_noise_trace(noise_sc, 80000);
+
+  core::LocatorConfig config;
+  config.params = core::PipelineParams::defaults_for(crypto::CipherId::kSimon128);
+  config.params.sizes = {224, 160, 96};
+  config.params.epochs = 6;
+  core::CoLocator locator(config);
+  const auto report = locator.train(acq, noise);
+  std::printf("locator test accuracy: %.1f%%\n",
+              100.0 * report.test_confusion.accuracy());
+
+  // Evaluation capture: interleave ToyARX executions with noise apps.
+  trace::Trace eval;
+  trace::SocSimulator eval_sim([&] {
+    trace::SocConfig c = soc;
+    c.seed = 17;
+    return c;
+  }());
+  for (int i = 0; i < 12; ++i) {
+    eval_sim.run_noise_app(600, eval);
+    crypto::Block16 pt{};
+    rng.fill_bytes(pt.data(), 16);
+    eval_sim.run_cipher(cipher, pt, eval);
+  }
+  eval_sim.run_noise_app(600, eval);
+
+  const auto located = locator.locate(eval.samples);
+  const auto score =
+      core::score_hits(located, eval.co_starts(), config.params.n_inf / 2);
+  std::printf("located %zu/%zu ToyARX executions (%.1f%% hits)\n", score.hits,
+              score.true_cos, 100.0 * score.hit_rate());
+  return 0;
+}

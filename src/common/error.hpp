@@ -1,0 +1,43 @@
+// Common exception types for the scalocate library.
+//
+// All library errors derive from scalocate::Error so callers can catch a
+// single type at API boundaries while tests can assert on the specific kind.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace scalocate {
+
+/// Base class for every error thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A function argument violated a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A file could not be read/written or had an unexpected format.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Tensor/layer shapes are incompatible.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+/// Throws InvalidArgument with `msg` when `cond` is false.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+}  // namespace detail
+
+}  // namespace scalocate

@@ -1,0 +1,35 @@
+#include "common/io.hpp"
+
+#include "common/error.hpp"
+
+namespace scalocate::io {
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_scalar<std::uint64_t>(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto n = read_scalar<std::uint64_t>(is);
+  std::string s(static_cast<std::size_t>(n), '\0');
+  if (n > 0) is.read(s.data(), static_cast<std::streamsize>(n));
+  return s;
+}
+
+std::ofstream open_for_write(const std::string& path, std::uint64_t magic) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw IoError("cannot open for writing: " + path);
+  write_scalar(os, magic);
+  return os;
+}
+
+std::ifstream open_for_read(const std::string& path, std::uint64_t magic) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw IoError("cannot open for reading: " + path);
+  const auto found = read_scalar<std::uint64_t>(is);
+  if (!is || found != magic)
+    throw IoError("bad magic in file: " + path);
+  return is;
+}
+
+}  // namespace scalocate::io

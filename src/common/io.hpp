@@ -1,0 +1,63 @@
+// Minimal binary serialization helpers.
+//
+// All scalocate on-disk formats (trace files, model checkpoints) are built
+// from these primitives. Values are written little-endian; files start with
+// a 8-byte magic so load errors are caught early.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace scalocate::io {
+
+/// Writes a POD scalar little-endian. Only use with integral/float types.
+template <typename T>
+void write_scalar(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Reads a POD scalar written by write_scalar.
+template <typename T>
+T read_scalar(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return value;
+}
+
+/// Writes a length-prefixed vector of scalars.
+template <typename T>
+void write_vector(std::ostream& os, const std::vector<T>& v) {
+  write_scalar<std::uint64_t>(os, v.size());
+  if (!v.empty())
+    os.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+/// Reads a vector written by write_vector.
+template <typename T>
+std::vector<T> read_vector(std::istream& is) {
+  const auto n = read_scalar<std::uint64_t>(is);
+  std::vector<T> v(static_cast<std::size_t>(n));
+  if (n > 0)
+    is.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+  return v;
+}
+
+/// Writes a length-prefixed UTF-8 string.
+void write_string(std::ostream& os, const std::string& s);
+
+/// Reads a string written by write_string.
+std::string read_string(std::istream& is);
+
+/// Opens a file for binary writing, writing `magic` (8 bytes) first.
+/// Throws IoError on failure.
+std::ofstream open_for_write(const std::string& path, std::uint64_t magic);
+
+/// Opens a file for binary reading and validates the magic.
+/// Throws IoError on failure or magic mismatch.
+std::ifstream open_for_read(const std::string& path, std::uint64_t magic);
+
+}  // namespace scalocate::io

@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in scalocate (simulated TRNG, acquisition
+// noise, weight init, dataset shuffling) draws from an explicitly seeded
+// Rng so that experiments are bit-reproducible across runs and platforms.
+//
+// The generator is xoshiro256** seeded through splitmix64, which is both
+// fast and of high statistical quality; <random> engines are avoided
+// because their distributions are not portable across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace scalocate {
+
+/// splitmix64 step; used to expand a single 64-bit seed into a full state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic, portable random number generator (xoshiro256**).
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed. Equal seeds produce equal
+  /// streams on every platform.
+  explicit Rng(std::uint64_t seed = 0x5ca10ca7e5eedULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) using rejection sampling (unbiased).
+  /// bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal sample (Box-Muller with caching).
+  double normal();
+
+  /// Normal sample with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Random byte.
+  std::uint8_t next_byte();
+
+  /// Fills `out` with random bytes.
+  void fill_bytes(std::uint8_t* out, std::size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator; useful to give each module a
+  /// decorrelated stream from a single experiment seed.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace scalocate

@@ -1,0 +1,70 @@
+// 1-D signal processing primitives.
+//
+// These implement the classic DSP blocks the paper's pipeline is built
+// from: the Segmentation stage (threshold -> square wave -> median filter
+// -> rising-edge extraction, Section III-D) and the correlation machinery
+// used by the baseline locators (matched filter [10] and waveform
+// matching [11]).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace scalocate::signal {
+
+/// Thresholds a signal into a +/-1 square wave: out[i] = +1 when
+/// xs[i] >= threshold, else -1 (Section III-D, "Th" block).
+std::vector<float> threshold_square_wave(std::span<const float> xs,
+                                         float threshold);
+
+/// Sliding median filter of odd window size k (Section III-D, "MF" block).
+/// Borders are handled by shrinking the window (median of the available
+/// neighbors), which keeps the output length equal to the input length.
+/// k must be odd and >= 1.
+std::vector<float> median_filter(std::span<const float> xs, std::size_t k);
+
+/// Indices i such that xs[i-1] < 0 <= xs[i] (a -1 -> +1 transition in a
+/// square wave). Returns the index of the first +1 sample of each edge.
+std::vector<std::size_t> rising_edges(std::span<const float> xs);
+
+/// Indices i such that xs[i-1] >= 0 > xs[i].
+std::vector<std::size_t> falling_edges(std::span<const float> xs);
+
+/// Moving average of window k (k >= 1); same-length output, borders shrink.
+std::vector<float> moving_average(std::span<const float> xs, std::size_t k);
+
+/// Subtracts the mean and divides by the standard deviation. A zero-variance
+/// signal is returned as all zeros.
+std::vector<float> standardize(std::span<const float> xs);
+
+/// Rescales into [0,1]; a constant signal maps to all zeros.
+std::vector<float> min_max_normalize(std::span<const float> xs);
+
+/// Raw (unnormalized) cross-correlation of `signal` with `kernel`:
+/// out[t] = sum_j signal[t+j] * kernel[j], for t in [0, len(signal)-len(kernel)].
+/// This is the matched-filter inner product used by baseline [10].
+std::vector<float> cross_correlate(std::span<const float> signal,
+                                   std::span<const float> kernel);
+
+/// Normalized cross-correlation (Pearson at each lag, in [-1,1]):
+/// the sliding-window correlation used by the waveform-matching
+/// baseline [11]. Output length: len(signal)-len(kernel)+1.
+std::vector<float> normalized_cross_correlate(std::span<const float> signal,
+                                              std::span<const float> kernel);
+
+/// Finds local maxima above `min_height`, keeping only peaks at least
+/// `min_distance` samples apart (greedy, highest first). Returns sorted
+/// ascending indices.
+std::vector<std::size_t> find_peaks(std::span<const float> xs,
+                                    float min_height,
+                                    std::size_t min_distance);
+
+/// Absolute of each element.
+std::vector<float> absolute(std::span<const float> xs);
+
+/// Downsamples by an integer factor >= 1, averaging each block (a simple
+/// model of oscilloscope decimation).
+std::vector<float> decimate(std::span<const float> xs, std::size_t factor);
+
+}  // namespace scalocate::signal

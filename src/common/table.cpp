@@ -1,0 +1,82 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace scalocate {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  detail::require(!header_.empty(), "TextTable: header must be non-empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  detail::require(row.size() == header_.size(),
+                  "TextTable::add_row: arity mismatch with header");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto hline = [&] {
+    std::string s = "+";
+    for (std::size_t w : widths) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  }();
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << "\n";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  os << hline << render_row(header_) << hline;
+  for (const auto& row : rows_) {
+    if (row.empty())
+      os << hline;
+    else
+      os << render_row(row);
+  }
+  os << hline;
+  return os.str();
+}
+
+std::string format_fixed(double value, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << value;
+  return os.str();
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string format_kilo(std::size_t n) {
+  if (n >= 1000 && n % 100 == 0) {
+    const double k = static_cast<double>(n) / 1000.0;
+    std::ostringstream os;
+    os << k << "k";
+    return os.str();
+  }
+  return std::to_string(n);
+}
+
+}  // namespace scalocate

@@ -1,0 +1,40 @@
+// Plain-text table rendering used by the benchmark harnesses to print the
+// paper's tables/figures in a shape directly comparable with the PDF.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace scalocate {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line between the rows added so far and
+  /// the next ones.
+  void add_separator();
+
+  /// Renders the table with column alignment and box-drawing separators.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed decimals.
+std::string format_fixed(double value, int decimals);
+
+/// Formats a fraction as a percentage string, e.g. 0.9956 -> "99.56%".
+std::string format_percent(double fraction, int decimals = 2);
+
+/// Formats a sample count with thousands shorthand, e.g. 22000 -> "22k".
+std::string format_kilo(std::size_t n);
+
+}  // namespace scalocate

@@ -1,0 +1,166 @@
+#include "core/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace scalocate::core {
+
+std::size_t WindowDataset::count_label(std::uint8_t label) const {
+  return static_cast<std::size_t>(
+      std::count(labels.begin(), labels.end(), label));
+}
+
+DatasetBuilder::DatasetBuilder(const PipelineParams& params, std::uint64_t seed)
+    : params_(params), seed_(seed) {
+  detail::require(params.n_train >= 16, "DatasetBuilder: n_train too small");
+}
+
+void DatasetBuilder::standardize_window(std::vector<float>& window) {
+  const double m = stats::mean(window);
+  const double sd = stats::stddev(window);
+  if (sd <= 1e-9) {
+    std::fill(window.begin(), window.end(), 0.0f);
+    return;
+  }
+  for (auto& v : window) v = static_cast<float>((v - m) / sd);
+}
+
+WindowDataset DatasetBuilder::build(const trace::CipherAcquisition& ciphers,
+                                    const trace::Trace& noise) const {
+  const std::size_t n = params_.n_train;
+  WindowDataset out;
+  out.window_length = n;
+
+  Rng rng(seed_ ^ 0x646174617365ULL);
+
+  // --- c1: beginning-of-CO windows -----------------------------------------
+  // One window per capture, cycling through the captures until the quota is
+  // met; each window begins start_jitter-uniformly past the CO start (see
+  // PipelineParams::start_jitter; jitter 0 = the paper's exact labeling).
+  std::size_t starts_taken = 0;
+  if (!ciphers.captures.empty()) {
+    std::size_t guard = 0;
+    const std::size_t max_guard = 16 * params_.sizes.cipher_start + 16;
+    std::size_t cursor = 0;
+    while (starts_taken < params_.sizes.cipher_start && guard++ < max_guard) {
+      const auto& cap = ciphers.captures[cursor % ciphers.captures.size()];
+      ++cursor;
+      const std::size_t jitter =
+          params_.start_jitter > 0
+              ? static_cast<std::size_t>(
+                    rng.next_below(params_.start_jitter + 1))
+              : 0;
+      if (cap.samples.size() < jitter + n) continue;
+      std::vector<float> w(
+          cap.samples.begin() + static_cast<std::ptrdiff_t>(jitter),
+          cap.samples.begin() + static_cast<std::ptrdiff_t>(jitter + n));
+      standardize_window(w);
+      out.windows.push_back(std::move(w));
+      out.labels.push_back(1);
+      ++starts_taken;
+    }
+  }
+
+  // --- c0: cipher-rest windows ---------------------------------------------
+  // Paper semantics: consecutive windows at offsets N, 2N, ... Random
+  // offsets (default) cover the arbitrary alignments the inference slicer
+  // produces; see PipelineParams::random_rest_offsets.
+  std::size_t rests_taken = 0;
+  if (params_.random_rest_offsets && !ciphers.captures.empty()) {
+    // Round-robin over captures, one random-offset window per visit.
+    std::size_t guard = 0;
+    const std::size_t max_guard = 16 * params_.sizes.cipher_rest + 16;
+    while (rests_taken < params_.sizes.cipher_rest && guard++ < max_guard) {
+      const auto& cap =
+          ciphers.captures[rng.next_below(ciphers.captures.size())];
+      if (cap.samples.size() < 2 * n) continue;
+      const std::size_t max_off = cap.samples.size() - n;
+      const std::size_t off =
+          n + static_cast<std::size_t>(rng.next_below(max_off - n + 1));
+      std::vector<float> w(
+          cap.samples.begin() + static_cast<std::ptrdiff_t>(off),
+          cap.samples.begin() + static_cast<std::ptrdiff_t>(off + n));
+      standardize_window(w);
+      out.windows.push_back(std::move(w));
+      out.labels.push_back(0);
+      ++rests_taken;
+    }
+  } else {
+    for (const auto& cap : ciphers.captures) {
+      if (rests_taken >= params_.sizes.cipher_rest) break;
+      for (std::size_t off = n;
+           off + n <= cap.samples.size() &&
+           rests_taken < params_.sizes.cipher_rest;
+           off += n) {
+        std::vector<float> w(
+            cap.samples.begin() + static_cast<std::ptrdiff_t>(off),
+            cap.samples.begin() + static_cast<std::ptrdiff_t>(off + n));
+        standardize_window(w);
+        out.windows.push_back(std::move(w));
+        out.labels.push_back(0);
+        ++rests_taken;
+      }
+    }
+  }
+
+  // --- c0: noise windows at random offsets ---------------------------------
+  if (noise.samples.size() >= n) {
+    const std::size_t max_off = noise.samples.size() - n;
+    for (std::size_t i = 0; i < params_.sizes.noise; ++i) {
+      const auto off = static_cast<std::size_t>(rng.next_below(max_off + 1));
+      std::vector<float> w(
+          noise.samples.begin() + static_cast<std::ptrdiff_t>(off),
+          noise.samples.begin() + static_cast<std::ptrdiff_t>(off + n));
+      standardize_window(w);
+      out.windows.push_back(std::move(w));
+      out.labels.push_back(0);
+    }
+  }
+
+  return out;
+}
+
+DatasetSplit DatasetBuilder::split(const WindowDataset& dataset) const {
+  detail::require(dataset.size() >= 20, "DatasetBuilder::split: dataset too small");
+  Rng rng(seed_ ^ 0x73706c6974ULL);
+
+  // Stratified split: shuffle the indices of each class separately, then
+  // take train/val/test slices per class so all splits see both labels.
+  std::vector<std::size_t> idx0, idx1;
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    (dataset.labels[i] == 1 ? idx1 : idx0).push_back(i);
+  rng.shuffle(idx0);
+  rng.shuffle(idx1);
+
+  DatasetSplit split;
+  split.train.window_length = dataset.window_length;
+  split.val.window_length = dataset.window_length;
+  split.test.window_length = dataset.window_length;
+
+  const auto distribute = [&](const std::vector<std::size_t>& idx) {
+    const auto n = idx.size();
+    const auto n_train = static_cast<std::size_t>(
+        std::floor(params_.train_fraction * static_cast<double>(n)));
+    const auto n_val = static_cast<std::size_t>(
+        std::floor(params_.val_fraction * static_cast<double>(n)));
+    for (std::size_t i = 0; i < n; ++i) {
+      WindowDataset* target = &split.test;
+      if (i < n_train)
+        target = &split.train;
+      else if (i < n_train + n_val)
+        target = &split.val;
+      target->windows.push_back(dataset.windows[idx[i]]);
+      target->labels.push_back(dataset.labels[idx[i]]);
+    }
+  };
+  distribute(idx0);
+  distribute(idx1);
+  return split;
+}
+
+}  // namespace scalocate::core

@@ -1,0 +1,61 @@
+// Dataset Creation block (Section III-A).
+//
+// Consumes the attacker's clone-device captures -- a set of single-CO
+// cipher traces (cut at the NOP-sled boundary) and a long noise trace --
+// and assembles the labeled window database:
+//   c1 "cipher start": the first Ntrain samples of each cipher trace;
+//   c0 "cipher rest" : consecutive Ntrain windows over the remainder;
+//   c0 "noise"       : Ntrain windows at random offsets of the noise trace.
+// Windows are standardized (zero mean, unit variance) so the classifier is
+// insensitive to the acquisition's absolute scale/drift, then split
+// 80/15/5 into train/validation/test (Section IV-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+#include "trace/scenario.hpp"
+#include "trace/trace.hpp"
+
+namespace scalocate::core {
+
+/// Labeled window database (pre-split).
+struct WindowDataset {
+  std::vector<std::vector<float>> windows;
+  std::vector<std::uint8_t> labels;  ///< 1 = beginning-of-CO, 0 = not
+  std::size_t window_length = 0;
+
+  std::size_t size() const { return windows.size(); }
+  std::size_t count_label(std::uint8_t label) const;
+};
+
+/// Train/validation/test split.
+struct DatasetSplit {
+  WindowDataset train;
+  WindowDataset val;
+  WindowDataset test;
+};
+
+class DatasetBuilder {
+ public:
+  explicit DatasetBuilder(const PipelineParams& params,
+                          std::uint64_t seed = 11);
+
+  /// Assembles the window database from the acquisition campaigns. Fewer
+  /// captures than requested c1 windows simply yields fewer c1 windows.
+  WindowDataset build(const trace::CipherAcquisition& ciphers,
+                      const trace::Trace& noise) const;
+
+  /// Splits per the paper's 80/15/5 proportions (stratified by label).
+  DatasetSplit split(const WindowDataset& dataset) const;
+
+  /// Standardizes one window in place (helper shared with inference).
+  static void standardize_window(std::vector<float>& window);
+
+ private:
+  PipelineParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace scalocate::core

@@ -1,0 +1,229 @@
+#include "core/locator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/signal.hpp"
+#include "nn/serialize.hpp"
+
+namespace scalocate::core {
+
+CoLocator::CoLocator(LocatorConfig config)
+    : config_(std::move(config)), model_(build_paper_cnn(config_.cnn)) {}
+
+TrainReport CoLocator::train(const trace::CipherAcquisition& ciphers,
+                             const trace::Trace& noise) {
+  DatasetBuilder builder(config_.params, config_.seed ^ 0x6462ULL);
+  const WindowDataset dataset = builder.build(ciphers, noise);
+  const DatasetSplit split = builder.split(dataset);
+
+  Trainer trainer(config_.params, config_.seed ^ 0x7472ULL);
+  TrainReport report = trainer.fit(*model_, split);
+  trained_ = true;
+
+  // Mean CO length from the profiling captures (drives the automatic
+  // median-filter size and alignment segment lengths).
+  double acc = 0.0;
+  std::size_t counted = 0;
+  for (const auto& cap : ciphers.captures) {
+    acc += static_cast<double>(cap.samples.size());
+    ++counted;
+  }
+  mean_co_length_ = counted > 0 ? acc / static_cast<double>(counted) : 0.0;
+
+  build_fine_template(ciphers);
+  calibrate(ciphers);
+  return report;
+}
+
+void CoLocator::build_fine_template(const trace::CipherAcquisition& ciphers) {
+  fine_template_.clear();
+  if (!config_.fine_align) return;
+  const std::size_t len =
+      std::min(config_.fine_template_length, config_.params.n_inf);
+  std::vector<double> acc(len, 0.0);
+  std::size_t used = 0;
+  for (const auto& cap : ciphers.captures) {
+    if (cap.samples.size() < len) continue;
+    for (std::size_t j = 0; j < len; ++j) acc[j] += cap.samples[j];
+    ++used;
+  }
+  if (used == 0) return;
+  fine_template_.resize(len);
+  for (std::size_t j = 0; j < len; ++j)
+    fine_template_[j] = static_cast<float>(acc[j] / static_cast<double>(used));
+  fine_template_ = signal::moving_average(fine_template_, 5);
+}
+
+std::size_t CoLocator::refine_start(std::span<const float> trace_samples,
+                                    std::size_t coarse_start) const {
+  if (fine_template_.empty()) return coarse_start;
+  const std::size_t len = fine_template_.size();
+  const std::ptrdiff_t radius = static_cast<std::ptrdiff_t>(
+      config_.fine_search_radius > 0
+          ? config_.fine_search_radius
+          : config_.params.n_inf + 4 * config_.params.stride);
+  const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(
+      0, static_cast<std::ptrdiff_t>(coarse_start) - radius);
+  const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(
+      static_cast<std::ptrdiff_t>(trace_samples.size()) -
+          static_cast<std::ptrdiff_t>(len),
+      static_cast<std::ptrdiff_t>(coarse_start) + radius);
+  if (hi < lo) return coarse_start;
+
+  // Best normalized correlation of the template in the local search range.
+  // Both sides are lightly smoothed so the single-sample data-dependent
+  // term does not dominate the envelope match.
+  const std::span<const float> region(trace_samples.data() + lo,
+                                      static_cast<std::size_t>(hi - lo) + len);
+  const auto region_s = signal::moving_average(region, 5);
+  const auto ncc = signal::normalized_cross_correlate(region_s, fine_template_);
+  if (ncc.empty()) return coarse_start;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ncc.size(); ++i)
+    if (ncc[i] > ncc[best]) best = i;
+  return static_cast<std::size_t>(lo) + best;
+}
+
+namespace {
+
+/// Median signed distance from each truth position to its nearest
+/// detection, ignoring pairs farther apart than `max_abs`. Returns 0 when
+/// nothing matches.
+std::ptrdiff_t median_offset(const std::vector<std::size_t>& detections,
+                             const std::vector<std::size_t>& truth,
+                             std::ptrdiff_t max_abs) {
+  std::vector<std::ptrdiff_t> offsets;
+  for (std::size_t t : truth) {
+    std::ptrdiff_t best = 0;
+    std::ptrdiff_t best_abs = max_abs + 1;
+    for (std::size_t loc : detections) {
+      const std::ptrdiff_t d =
+          static_cast<std::ptrdiff_t>(loc) - static_cast<std::ptrdiff_t>(t);
+      if (std::abs(d) < best_abs) {
+        best_abs = std::abs(d);
+        best = d;
+      }
+    }
+    if (best_abs <= max_abs) offsets.push_back(best);
+  }
+  if (offsets.empty()) return 0;
+  std::nth_element(offsets.begin(), offsets.begin() + offsets.size() / 2,
+                   offsets.end());
+  return offsets[offsets.size() / 2];
+}
+
+}  // namespace
+
+void CoLocator::calibrate(const trace::CipherAcquisition& ciphers) {
+  coarse_offset_ = 0;
+  fine_offset_ = 0;
+  // Build a calibration trace by concatenating profiling captures: their
+  // true starts are the cumulative capture offsets.
+  const std::size_t n_cal =
+      std::min(config_.calibration_captures, ciphers.captures.size());
+  if (n_cal == 0) return;
+  std::vector<float> cal_trace;
+  std::vector<std::size_t> truth;
+  for (std::size_t i = 0; i < n_cal; ++i) {
+    truth.push_back(cal_trace.size());
+    const auto& s = ciphers.captures[i].samples;
+    cal_trace.insert(cal_trace.end(), s.begin(), s.end());
+  }
+
+  // Stage 1: raw rising edges (no correction).
+  SlidingWindowClassifier classifier(*model_, config_.params.n_inf,
+                                     config_.params.stride);
+  const SlidingWindowResult swc = classifier.classify(cal_trace);
+  SegmenterConfig seg_cfg;
+  seg_cfg.threshold = config_.params.threshold;
+  seg_cfg.median_filter_k = config_.params.median_filter_k;
+  seg_cfg.window_size = config_.params.n_inf;
+  seg_cfg.expected_co_length = static_cast<std::size_t>(mean_co_length_);
+  const Segmentation seg = Segmenter(seg_cfg).segment(swc);
+
+  const auto half_co = static_cast<std::ptrdiff_t>(mean_co_length_ / 2.0);
+  coarse_offset_ = median_offset(seg.co_starts, truth, half_co);
+
+  // Stage 2: apply the coarse correction, refine with the template, and
+  // measure the residual.
+  if (!config_.fine_align) return;
+  std::vector<std::size_t> refined;
+  refined.reserve(seg.co_starts.size());
+  for (std::size_t raw : seg.co_starts) {
+    const std::ptrdiff_t corrected =
+        static_cast<std::ptrdiff_t>(raw) - coarse_offset_;
+    const std::size_t base =
+        corrected < 0 ? 0 : static_cast<std::size_t>(corrected);
+    refined.push_back(refine_start(cal_trace, base));
+  }
+  fine_offset_ = median_offset(refined, truth, half_co);
+}
+
+CoLocator::Located CoLocator::locate_detailed(
+    std::span<const float> trace_samples) {
+  detail::require(trained_, "CoLocator::locate: train() or load_model() first");
+  Located out;
+  SlidingWindowClassifier classifier(*model_, config_.params.n_inf,
+                                     config_.params.stride);
+  out.swc = classifier.classify(trace_samples);
+
+  SegmenterConfig seg_cfg;
+  seg_cfg.threshold = config_.params.threshold;
+  seg_cfg.median_filter_k = config_.params.median_filter_k;
+  seg_cfg.window_size = config_.params.n_inf;
+  seg_cfg.expected_co_length = static_cast<std::size_t>(mean_co_length_);
+  out.segmentation = Segmenter(seg_cfg).segment(out.swc);
+
+  out.co_starts.reserve(out.segmentation.co_starts.size());
+  for (std::size_t raw : out.segmentation.co_starts) {
+    // Coarse correction -> template refinement -> residual correction.
+    std::ptrdiff_t pos = static_cast<std::ptrdiff_t>(raw) - coarse_offset_;
+    std::size_t start = pos < 0 ? 0 : static_cast<std::size_t>(pos);
+    if (config_.fine_align) {
+      start = refine_start(trace_samples, start);
+      pos = static_cast<std::ptrdiff_t>(start) - fine_offset_;
+      start = pos < 0 ? 0 : static_cast<std::size_t>(pos);
+    }
+    out.co_starts.push_back(start);
+  }
+  std::sort(out.co_starts.begin(), out.co_starts.end());
+
+  // Duplicate suppression: a CO cannot restart within a fraction of its own
+  // length, so later detections inside that horizon are echoes of the same
+  // plateau (classifier glitches re-crossing the threshold).
+  if (config_.min_separation_fraction > 0.0 && mean_co_length_ > 0.0) {
+    const auto min_gap = static_cast<std::size_t>(
+        config_.min_separation_fraction * mean_co_length_);
+    std::vector<std::size_t> deduped;
+    for (std::size_t s : out.co_starts) {
+      if (deduped.empty() || s >= deduped.back() + min_gap)
+        deduped.push_back(s);
+    }
+    out.co_starts = std::move(deduped);
+  }
+  return out;
+}
+
+std::vector<std::size_t> CoLocator::locate(
+    std::span<const float> trace_samples) {
+  return locate_detailed(trace_samples).co_starts;
+}
+
+AlignedTraces CoLocator::locate_and_align(std::span<const float> trace_samples,
+                                          std::size_t segment_length) {
+  const auto starts = locate(trace_samples);
+  return align_cos(trace_samples, starts, segment_length);
+}
+
+void CoLocator::save_model(const std::string& path) const {
+  nn::save_module(*model_, path);
+}
+
+void CoLocator::load_model(const std::string& path) {
+  nn::load_module(*model_, path);
+  trained_ = true;
+}
+
+}  // namespace scalocate::core

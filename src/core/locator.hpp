@@ -1,0 +1,110 @@
+// CoLocator: the end-to-end system of the paper.
+//
+// Training phase (Figure 1, left): dataset creation from clone-device
+// captures -> CNN training -> calibration. Calibration is an addition over
+// the paper's text made explicit here: a sliding CNN with global average
+// pooling fires as soon as the CO-start motif *enters* the window, so the
+// rising edge leads the true start by a roughly constant amount. We measure
+// that lead once on the profiling captures (whose true starts are known)
+// and subtract it at inference; the paper folds the same correction into
+// the CPA's "minor aggregation over time".
+//
+// Inference phase (Figure 1, right): sliding-window classification ->
+// segmentation -> alignment.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/alignment.hpp"
+#include "core/dataset.hpp"
+#include "core/model.hpp"
+#include "core/params.hpp"
+#include "core/segmentation.hpp"
+#include "core/sliding_window.hpp"
+#include "core/trainer.hpp"
+
+namespace scalocate::core {
+
+struct LocatorConfig {
+  PipelineParams params;
+  CnnConfig cnn = CnnConfig::scaled();
+  std::uint64_t seed = 29;
+  /// Number of profiling captures used for offset calibration.
+  std::size_t calibration_captures = 16;
+  /// Sub-stride refinement: after segmentation, each located start is
+  /// snapped to the best local match of a short mean-start template within
+  /// +/-stride samples. This removes the stride quantization of the rising
+  /// edge (the paper's CPA absorbs it with time aggregation instead; we do
+  /// both and benchmark the difference in bench_ablations).
+  bool fine_align = true;
+  /// Length of the fine-alignment template (clamped to n_inf).
+  std::size_t fine_template_length = 256;
+  /// Search radius of the fine-alignment snap around the corrected rising
+  /// edge. 0 = automatic (max(2*stride, 160) samples).
+  std::size_t fine_search_radius = 0;
+  /// Two detections closer than this fraction of the mean CO length are
+  /// duplicates of the same CO; the earlier one is kept. 0 disables.
+  double min_separation_fraction = 0.5;
+};
+
+class CoLocator {
+ public:
+  explicit CoLocator(LocatorConfig config);
+
+  /// Trains the CNN from the acquisition campaigns and calibrates the
+  /// systematic localization offset. Returns the training report (loss
+  /// history + test confusion matrix).
+  TrainReport train(const trace::CipherAcquisition& ciphers,
+                    const trace::Trace& noise);
+
+  /// Locates CO starts in a new trace (offset-corrected sample indices).
+  std::vector<std::size_t> locate(std::span<const float> trace_samples);
+
+  /// Full diagnostics: swc scores, square wave, filtered wave, raw starts.
+  struct Located {
+    SlidingWindowResult swc;
+    Segmentation segmentation;
+    std::vector<std::size_t> co_starts;  ///< offset-corrected
+  };
+  Located locate_detailed(std::span<const float> trace_samples);
+
+  /// Locates and cuts aligned segments in one call.
+  AlignedTraces locate_and_align(std::span<const float> trace_samples,
+                                 std::size_t segment_length);
+
+  /// Model persistence (architecture must match the config).
+  void save_model(const std::string& path) const;
+  void load_model(const std::string& path);
+
+  bool is_trained() const { return trained_; }
+  /// Total systematic lead removed at inference (coarse + fine stage).
+  std::ptrdiff_t calibration_offset() const {
+    return coarse_offset_ + fine_offset_;
+  }
+  std::ptrdiff_t coarse_offset() const { return coarse_offset_; }
+  std::ptrdiff_t fine_offset() const { return fine_offset_; }
+  double mean_co_length() const { return mean_co_length_; }
+  nn::Sequential& model() { return *model_; }
+  const LocatorConfig& config() const { return config_; }
+
+ private:
+  void calibrate(const trace::CipherAcquisition& ciphers);
+  void build_fine_template(const trace::CipherAcquisition& ciphers);
+  std::size_t refine_start(std::span<const float> trace_samples,
+                           std::size_t coarse_start) const;
+
+  LocatorConfig config_;
+  std::unique_ptr<nn::Sequential> model_;
+  bool trained_ = false;
+  /// Stage-1 offset: median (raw rising edge - true start), measured on the
+  /// calibration trace before refinement. The rising edge leads the true
+  /// start because the CNN fires as soon as the motif enters the window.
+  std::ptrdiff_t coarse_offset_ = 0;
+  /// Stage-2 offset: median residual after template refinement.
+  std::ptrdiff_t fine_offset_ = 0;
+  double mean_co_length_ = 0.0;
+  std::vector<float> fine_template_;
+};
+
+}  // namespace scalocate::core

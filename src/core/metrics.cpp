@@ -1,0 +1,88 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace scalocate::core {
+
+void ConfusionMatrix::add(std::uint8_t true_label,
+                          std::uint8_t predicted_label) {
+  detail::require(true_label < 2 && predicted_label < 2,
+                  "ConfusionMatrix::add: labels must be binary");
+  ++counts_[true_label][predicted_label];
+}
+
+std::size_t ConfusionMatrix::count(std::uint8_t true_label,
+                                   std::uint8_t predicted) const {
+  return counts_[true_label][predicted];
+}
+
+std::size_t ConfusionMatrix::total() const {
+  return counts_[0][0] + counts_[0][1] + counts_[1][0] + counts_[1][1];
+}
+
+double ConfusionMatrix::rate(std::uint8_t true_label,
+                             std::uint8_t predicted) const {
+  const std::size_t row = counts_[true_label][0] + counts_[true_label][1];
+  if (row == 0) return 0.0;
+  return static_cast<double>(counts_[true_label][predicted]) /
+         static_cast<double>(row);
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t t = total();
+  if (t == 0) return 0.0;
+  return static_cast<double>(counts_[0][0] + counts_[1][1]) /
+         static_cast<double>(t);
+}
+
+std::string ConfusionMatrix::render(const std::string& title) const {
+  TextTable table({"true \\ predicted", "0", "1"});
+  table.add_row({"0", format_percent(rate(0, 0)), format_percent(rate(0, 1))});
+  table.add_row({"1", format_percent(rate(1, 0)), format_percent(rate(1, 1))});
+  std::ostringstream os;
+  os << title << "\n" << table.render();
+  return os.str();
+}
+
+HitScore score_hits(const std::vector<std::size_t>& located,
+                    const std::vector<std::size_t>& truth,
+                    std::size_t tolerance) {
+  HitScore score;
+  score.true_cos = truth.size();
+  score.located = located.size();
+
+  std::vector<bool> located_used(located.size(), false);
+  double err_acc = 0.0;
+  for (std::size_t t : truth) {
+    // Nearest unused located start within tolerance.
+    std::size_t best = located.size();
+    std::size_t best_dist = tolerance + 1;
+    for (std::size_t i = 0; i < located.size(); ++i) {
+      if (located_used[i]) continue;
+      const std::size_t dist =
+          located[i] > t ? located[i] - t : t - located[i];
+      if (dist <= tolerance && dist < best_dist) {
+        best = i;
+        best_dist = dist;
+      }
+    }
+    if (best < located.size()) {
+      located_used[best] = true;
+      ++score.hits;
+      err_acc += static_cast<double>(best_dist);
+    }
+  }
+  score.false_alarms =
+      score.located - static_cast<std::size_t>(
+                          std::count(located_used.begin(), located_used.end(), true));
+  score.mean_abs_error =
+      score.hits > 0 ? err_acc / static_cast<double>(score.hits) : 0.0;
+  return score;
+}
+
+}  // namespace scalocate::core

@@ -1,0 +1,57 @@
+// Evaluation metrics: binary confusion matrix (Figure 3) and the
+// segmentation hit score (Section IV-B / Table II).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scalocate::core {
+
+/// 2x2 confusion matrix over {not-beginning (0), beginning (1)}.
+class ConfusionMatrix {
+ public:
+  void add(std::uint8_t true_label, std::uint8_t predicted_label);
+
+  std::size_t count(std::uint8_t true_label, std::uint8_t predicted) const;
+  std::size_t total() const;
+
+  /// Row-normalized rate, e.g. rate(0,0) is the paper's top-left
+  /// percentage (true class 0 predicted as 0). Returns 0 on empty rows.
+  double rate(std::uint8_t true_label, std::uint8_t predicted) const;
+
+  double accuracy() const;
+  double true_positive_rate() const { return rate(1, 1); }
+  double true_negative_rate() const { return rate(0, 0); }
+
+  /// Renders in the layout of the paper's Figure 3.
+  std::string render(const std::string& title) const;
+
+ private:
+  std::array<std::array<std::size_t, 2>, 2> counts_{{{0, 0}, {0, 0}}};
+};
+
+/// Greedy matching of located CO starts against ground truth.
+struct HitScore {
+  std::size_t true_cos = 0;      ///< COs actually present
+  std::size_t located = 0;       ///< locations reported
+  std::size_t hits = 0;          ///< true COs matched within tolerance
+  std::size_t false_alarms = 0;  ///< reported locations matching nothing
+  double mean_abs_error = 0.0;   ///< |located-true| over hits (samples)
+
+  double hit_rate() const {
+    return true_cos == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(true_cos);
+  }
+};
+
+/// Scores `located` against `truth` (both ascending sample indices): a true
+/// start is hit when some located start lies within +/-tolerance of it;
+/// each located start can match at most one true start.
+HitScore score_hits(const std::vector<std::size_t>& located,
+                    const std::vector<std::size_t>& truth,
+                    std::size_t tolerance);
+
+}  // namespace scalocate::core

@@ -1,0 +1,80 @@
+#include "core/model.hpp"
+
+#include <sstream>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace scalocate::core {
+
+namespace {
+
+/// Conv1d -> BatchNorm1d -> ReLU (the paper's "convolutional block").
+nn::LayerPtr conv_block(std::size_t in_ch, std::size_t out_ch,
+                        std::size_t kernel) {
+  auto block = std::make_unique<nn::Sequential>();
+  block->emplace<nn::Conv1d>(in_ch, out_ch, kernel);
+  block->emplace<nn::BatchNorm1d>(out_ch);
+  block->emplace<nn::ReLU>();
+  return block;
+}
+
+/// Residual block: two convolutional blocks with a shortcut; a 1x1
+/// projection aligns channels when the block widens.
+nn::LayerPtr residual_block(std::size_t in_ch, std::size_t out_ch,
+                            std::size_t kernel) {
+  auto main = std::make_unique<nn::Sequential>();
+  main->add(conv_block(in_ch, out_ch, kernel));
+  main->add(conv_block(out_ch, out_ch, kernel));
+  nn::LayerPtr projection;
+  if (in_ch != out_ch)
+    projection = std::make_unique<nn::Conv1d>(in_ch, out_ch, 1);
+  return std::make_unique<nn::Residual>(std::move(main), std::move(projection));
+}
+
+}  // namespace
+
+std::unique_ptr<nn::Sequential> build_paper_cnn(const CnnConfig& config) {
+  const std::size_t f = config.base_filters;
+  const std::size_t k = config.kernel_size;
+
+  auto net = std::make_unique<nn::Sequential>();
+  net->add(conv_block(1, f, k));
+  net->add(residual_block(f, f, k));
+  net->add(residual_block(f, 2 * f, k));
+  net->emplace<nn::GlobalAvgPool1d>();
+  net->emplace<nn::Linear>(2 * f, config.fc_hidden);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::Linear>(config.fc_hidden, 2);
+
+  Rng rng(config.init_seed);
+  nn::init_module(*net, rng);
+  return net;
+}
+
+std::string describe_paper_cnn(const CnnConfig& config) {
+  const std::size_t f = config.base_filters;
+  const std::size_t k = config.kernel_size;
+  std::ostringstream os;
+  os << "1D CNN (ResNet adaptation, Fig. 2 of the paper)\n"
+     << "  Input: [B, 1, N] standardized side-channel window\n"
+     << "  ConvBlock: Conv1d(1->" << f << ", k=" << k
+     << ", s=1, same-pad) + BatchNorm1d + ReLU\n"
+     << "  ResidualBlock x2:\n"
+     << "    [1] Conv1d(" << f << "->" << f << ") + BN + ReLU, Conv1d(" << f
+     << "->" << f << ") + BN + ReLU, identity shortcut\n"
+     << "    [2] Conv1d(" << f << "->" << 2 * f << ") + BN + ReLU, Conv1d("
+     << 2 * f << "->" << 2 * f << ") + BN + ReLU, 1x1 projection shortcut\n"
+     << "  GlobalAvgPool1d: [B, " << 2 * f << ", N] -> [B, " << 2 * f << "]\n"
+     << "  Linear(" << 2 * f << "->" << config.fc_hidden << ") + ReLU\n"
+     << "  Linear(" << config.fc_hidden << "->2)  (linear class scores)\n"
+     << "  Softmax applied only when probabilities are required; the\n"
+     << "  inference pipeline reads the linear class-1 score (Sec. III-C).\n";
+  return os.str();
+}
+
+}  // namespace scalocate::core

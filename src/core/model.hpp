@@ -1,0 +1,45 @@
+// The paper's 1D CNN (Section III-B, Figure 2), a 1-D adaptation of ResNet:
+//
+//   ConvBlock(1 -> F, k)            ConvBlock = Conv1d + BatchNorm1d + ReLU
+//   Residual[ ConvBlock(F -> F, k), ConvBlock(F -> F, k) ]       (+identity)
+//   Residual[ ConvBlock(F -> 2F, k), ConvBlock(2F -> 2F, k) ] (+1x1 proj)
+//   GlobalAvgPool1d                 (enables Ninf != Ntrain)
+//   Linear(2F -> H) + ReLU
+//   Linear(H -> 2)                  (linear class scores; softmax separate)
+//
+// Paper values: F = 16 filters, kernel k = 64, stride 1, zero padding.
+// The kernel/filters are configurable because the scaled simulator windows
+// are ~80x shorter than the paper's 22k-sample windows.
+#pragma once
+
+#include <memory>
+
+#include "nn/sequential.hpp"
+
+namespace scalocate::core {
+
+struct CnnConfig {
+  std::size_t base_filters = 16;  ///< paper: 16 (second block doubles to 32)
+  std::size_t kernel_size = 64;   ///< paper: 64
+  std::size_t fc_hidden = 32;     ///< width of the first FC layer
+  std::uint64_t init_seed = 17;
+
+  /// Paper-exact architecture.
+  static CnnConfig paper() { return {}; }
+
+  /// Kernel scaled to the simulator's shorter windows (documented in
+  /// EXPERIMENTS.md); topology and filter counts unchanged.
+  static CnnConfig scaled() {
+    CnnConfig c;
+    c.kernel_size = 16;
+    return c;
+  }
+};
+
+/// Builds and He-initializes the network. Output: [B, 2] linear scores.
+std::unique_ptr<nn::Sequential> build_paper_cnn(const CnnConfig& config = {});
+
+/// Multi-line description of the architecture (used by bench_fig2_arch).
+std::string describe_paper_cnn(const CnnConfig& config = {});
+
+}  // namespace scalocate::core

@@ -1,0 +1,102 @@
+#include "core/params.hpp"
+
+#include "common/error.hpp"
+
+namespace scalocate::core {
+
+PipelineParams PipelineParams::defaults_for(crypto::CipherId id) {
+  PipelineParams p = paper_table1(id);  // fills the paper_* fields
+  p.cipher = id;
+  // Scaled values: the simulator's COs are ~20-70x shorter than the
+  // paper's 125 MS/s captures, so windows/strides shrink proportionally
+  // (~60-300 windows per CO at stride s). Unlike the paper we run the
+  // inference window slightly LARGER than the training window (legal via
+  // global average pooling): a window covering the whole random-delay
+  // stretched start motif yields markedly cleaner swc plateaus.
+  p.epochs = 12;
+  // The class-1 margin has its natural decision boundary at 0 (see
+  // SlidingWindowClassifier); NaN would select Otsu's automatic threshold.
+  p.threshold = 0.0f;
+  switch (id) {
+    case crypto::CipherId::kAes128:
+      p.n_train = 320;
+      p.n_inf = 384;  // > n_train via GAP: covers the RD-stretched motif
+      p.stride = 64;
+      p.sizes = {512, 512, 256};
+      break;
+    case crypto::CipherId::kAesMasked:
+      p.n_train = 512;
+      p.n_inf = 384;
+      p.stride = 192;
+      p.sizes = {384, 288, 192};
+      break;
+    case crypto::CipherId::kClefia128:
+      p.n_train = 256;
+      p.n_inf = 288;
+      p.stride = 48;
+      p.sizes = {512, 256, 256};
+      break;
+    case crypto::CipherId::kCamellia128:
+      p.n_train = 256;
+      p.n_inf = 288;
+      p.stride = 48;
+      p.sizes = {256, 512, 256};
+      break;
+    case crypto::CipherId::kSimon128:
+      p.n_train = 256;
+      p.n_inf = 288;
+      p.stride = 48;
+      p.sizes = {512, 256, 256};
+      break;
+  }
+  // Jitter c1 windows across a quarter of the training window so the
+  // classifier tolerates the partial alignments the inference slicer
+  // produces (see the start_jitter documentation in params.hpp).
+  p.start_jitter = p.n_train / 4;
+  return p;
+}
+
+PipelineParams PipelineParams::paper_table1(crypto::CipherId id) {
+  PipelineParams p;
+  p.cipher = id;
+  switch (id) {
+    case crypto::CipherId::kAes128:
+      p.paper_mean_length = 220000;
+      p.paper_n_train = 22000;
+      p.paper_n_inf = 20000;
+      p.paper_stride = 1000;
+      p.paper_sizes = {65536, 65536, 32768};
+      break;
+    case crypto::CipherId::kAesMasked:
+      p.paper_mean_length = 50000;
+      p.paper_n_train = 4800;
+      p.paper_n_inf = 5000;
+      p.paper_stride = 100;
+      p.paper_sizes = {131072, 65536, 65536};
+      break;
+    case crypto::CipherId::kClefia128:
+      p.paper_mean_length = 108000;
+      p.paper_n_train = 6000;
+      p.paper_n_inf = 6000;
+      p.paper_stride = 500;
+      p.paper_sizes = {65536, 32768, 32768};
+      break;
+    case crypto::CipherId::kCamellia128:
+      p.paper_mean_length = 6000;
+      p.paper_n_train = 1400;
+      p.paper_n_inf = 1000;
+      p.paper_stride = 100;
+      p.paper_sizes = {32768, 65536, 32768};
+      break;
+    case crypto::CipherId::kSimon128:
+      p.paper_mean_length = 10000;
+      p.paper_n_train = 2000;
+      p.paper_n_inf = 2000;
+      p.paper_stride = 100;
+      p.paper_sizes = {65536, 32768, 32768};
+      break;
+  }
+  return p;
+}
+
+}  // namespace scalocate::core

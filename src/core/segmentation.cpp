@@ -1,0 +1,103 @@
+#include "core/segmentation.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/signal.hpp"
+#include "common/stats.hpp"
+
+namespace scalocate::core {
+
+Segmenter::Segmenter(SegmenterConfig config) : config_(config) {}
+
+std::size_t Segmenter::auto_median_k(std::size_t plateau_windows) {
+  // ~half the plateau width bridges interior dips and removes glitch runs
+  // while never erasing a true plateau; clamp to a sane odd range.
+  std::size_t k = plateau_windows / 2;
+  if (k < 3) k = 3;
+  if (k > 11) k = 11;
+  if (k % 2 == 0) ++k;
+  return k;
+}
+
+float Segmenter::otsu_threshold(std::span<const float> scores) {
+  detail::require(!scores.empty(), "otsu_threshold: empty scores");
+  const float lo = stats::min_value(scores);
+  const float hi = stats::max_value(scores);
+  if (hi <= lo) return lo;
+
+  constexpr std::size_t kBins = 256;
+  std::array<std::size_t, kBins> hist{};
+  const double scale = static_cast<double>(kBins - 1) / (hi - lo);
+  for (float s : scores) {
+    auto bin = static_cast<std::size_t>((s - lo) * scale);
+    if (bin >= kBins) bin = kBins - 1;
+    ++hist[bin];
+  }
+
+  const double total = static_cast<double>(scores.size());
+  double sum_all = 0.0;
+  for (std::size_t i = 0; i < kBins; ++i)
+    sum_all += static_cast<double>(i) * static_cast<double>(hist[i]);
+
+  double best_between = -1.0;
+  std::size_t best_bin = kBins / 2;
+  double w0 = 0.0, sum0 = 0.0;
+  for (std::size_t i = 0; i < kBins; ++i) {
+    w0 += static_cast<double>(hist[i]);
+    if (w0 == 0.0) continue;
+    const double w1 = total - w0;
+    if (w1 == 0.0) break;
+    sum0 += static_cast<double>(i) * static_cast<double>(hist[i]);
+    const double mu0 = sum0 / w0;
+    const double mu1 = (sum_all - sum0) / w1;
+    const double between = w0 * w1 * (mu0 - mu1) * (mu0 - mu1);
+    if (between > best_between) {
+      best_between = between;
+      best_bin = i;
+    }
+  }
+  return lo + static_cast<float>((static_cast<double>(best_bin) + 0.5) / scale);
+}
+
+Segmentation Segmenter::segment(const SlidingWindowResult& swc) const {
+  Segmentation out;
+  if (swc.scores.empty()) return out;
+
+  // --- threshold (Th) ------------------------------------------------------
+  float threshold = config_.threshold;
+  if (std::isnan(threshold)) threshold = otsu_threshold(swc.scores);
+  out.threshold_used = threshold;
+  out.square_wave = signal::threshold_square_wave(swc.scores, threshold);
+
+  // --- median filter (MF) --------------------------------------------------
+  std::size_t k = config_.median_filter_k;
+  if (k == 0) {
+    const std::size_t window =
+        config_.window_size > 0 ? config_.window_size : swc.window;
+    // The high plateau spans the window offsets whose content matches the
+    // start distribution: roughly (window + start-motif)/stride positions,
+    // with the motif on the order of a twelfth of the CO.
+    const std::size_t span = window + config_.expected_co_length / 12;
+    const std::size_t plateau =
+        swc.stride > 0 ? std::max<std::size_t>(1, span / swc.stride) : 4;
+    k = auto_median_k(plateau);
+  }
+  detail::require(k % 2 == 1, "Segmenter: median filter size must be odd");
+  out.median_k_used = k;
+  out.filtered = signal::median_filter(out.square_wave, k);
+
+  // --- rising edges -> sample positions ------------------------------------
+  const auto edges = signal::rising_edges(out.filtered);
+  out.co_starts.reserve(edges.size());
+  for (std::size_t e : edges) out.co_starts.push_back(e * swc.stride);
+  // A plateau that starts at window 0 has no -1 -> +1 transition; treat a
+  // high beginning as a CO start at sample 0's window.
+  if (!out.filtered.empty() && out.filtered.front() > 0.0f) {
+    out.co_starts.insert(out.co_starts.begin(), 0);
+  }
+  return out;
+}
+
+}  // namespace scalocate::core

@@ -1,0 +1,53 @@
+// Segmentation (Section III-D): swc -> threshold square wave -> median
+// filter -> rising edges -> CO start samples (edge index x stride).
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/sliding_window.hpp"
+
+namespace scalocate::core {
+
+struct SegmenterConfig {
+  /// Decision threshold on the linear class-1 score. NaN = automatic:
+  /// Otsu's method on the score histogram, which tracks the bimodal
+  /// distribution (plateau scores vs background) without per-cipher tuning.
+  float threshold = std::numeric_limits<float>::quiet_NaN();
+  /// Median filter window (odd). 0 = automatic, sized from the expected
+  /// plateau width n_inf/stride (see auto_median_k): wide enough to remove
+  /// isolated classifier glitches, narrow enough to keep real plateaus.
+  std::size_t median_filter_k = 0;
+  /// Inference window size (for the automatic median filter size).
+  std::size_t window_size = 0;
+  /// Expected CO length in samples (diagnostics/auto sizing fallback).
+  std::size_t expected_co_length = 0;
+};
+
+struct Segmentation {
+  std::vector<std::size_t> co_starts;  ///< located starts (sample indices)
+  std::vector<float> square_wave;      ///< post-threshold (diagnostics)
+  std::vector<float> filtered;         ///< post-median-filter (diagnostics)
+  float threshold_used = 0.0f;
+  std::size_t median_k_used = 0;
+};
+
+class Segmenter {
+ public:
+  explicit Segmenter(SegmenterConfig config = {});
+
+  Segmentation segment(const SlidingWindowResult& swc) const;
+
+  /// Automatic odd median-filter size for a given plateau width (in
+  /// windows): ~3/4 of the plateau, clamped to [3, 15].
+  static std::size_t auto_median_k(std::size_t plateau_windows);
+
+  /// Otsu's threshold on a score distribution (256-bin histogram).
+  static float otsu_threshold(std::span<const float> scores);
+
+ private:
+  SegmenterConfig config_;
+};
+
+}  // namespace scalocate::core

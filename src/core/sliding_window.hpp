@@ -1,0 +1,42 @@
+// Sliding Window Classification (Section III-C).
+//
+// Slices a side-channel trace into Ninf-sample windows every `stride`
+// samples and scores each with the trained CNN. Per the paper, the output
+// signal swc is the *linear* (pre-softmax) class-1 score of the fully
+// connected block, where the recurrent localization pattern is stronger
+// than in the softmax probabilities.
+#pragma once
+
+#include <vector>
+
+#include "core/params.hpp"
+#include "nn/sequential.hpp"
+
+namespace scalocate::core {
+
+struct SlidingWindowResult {
+  std::vector<float> scores;  ///< swc: one linear class-1 score per window
+  std::size_t stride = 1;     ///< sample distance between window starts
+  std::size_t window = 0;     ///< Ninf
+
+  /// Sample position of window i.
+  std::size_t window_start(std::size_t i) const { return i * stride; }
+};
+
+class SlidingWindowClassifier {
+ public:
+  /// `batch_size` windows are classified per forward pass.
+  SlidingWindowClassifier(nn::Sequential& model, std::size_t window,
+                          std::size_t stride, std::size_t batch_size = 64);
+
+  /// Scores every window of `trace_samples`.
+  SlidingWindowResult classify(std::span<const float> trace_samples) const;
+
+ private:
+  nn::Sequential& model_;
+  std::size_t window_;
+  std::size_t stride_;
+  std::size_t batch_size_;
+};
+
+}  // namespace scalocate::core

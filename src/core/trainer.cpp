@@ -1,0 +1,95 @@
+#include "core/trainer.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "nn/dataloader.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
+
+namespace scalocate::core {
+
+Trainer::Trainer(const PipelineParams& params, std::uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+std::pair<double, ConfusionMatrix> Trainer::evaluate(
+    nn::Sequential& model, const WindowDataset& data) const {
+  model.set_training(false);
+  nn::DataLoader loader(data.windows, data.labels, params_.batch_size,
+                        /*shuffle_seed=*/1, /*shuffle=*/false);
+  nn::SoftmaxCrossEntropy loss_fn;
+  double loss_acc = 0.0;
+  std::size_t batches = 0;
+  ConfusionMatrix cm;
+
+  nn::Batch batch;
+  loader.start_epoch();
+  while (loader.next(batch)) {
+    nn::Tensor logits = model.forward(batch.inputs);
+    loss_acc += loss_fn.forward(logits, batch.labels);
+    ++batches;
+    for (std::size_t b = 0; b < batch.labels.size(); ++b) {
+      const std::uint8_t pred =
+          logits.at(b, 1) > logits.at(b, 0) ? std::uint8_t{1} : std::uint8_t{0};
+      cm.add(batch.labels[b], pred);
+    }
+  }
+  return {batches > 0 ? loss_acc / static_cast<double>(batches) : 0.0, cm};
+}
+
+TrainReport Trainer::fit(nn::Sequential& model,
+                         const DatasetSplit& split) const {
+  detail::require(split.train.size() > 0, "Trainer::fit: empty training set");
+  detail::require(split.val.size() > 0, "Trainer::fit: empty validation set");
+
+  nn::DataLoader loader(split.train.windows, split.train.labels,
+                        params_.batch_size, seed_ ^ 0x7368756666ULL);
+  nn::SoftmaxCrossEntropy loss_fn;
+  nn::Adam optimizer(model.params(), params_.learning_rate);
+
+  TrainReport report;
+  report.best_val_loss = std::numeric_limits<double>::infinity();
+  nn::ModuleState best_state = nn::snapshot_module(model);
+
+  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    model.set_training(true);
+    loader.start_epoch();
+    double train_loss_acc = 0.0;
+    std::size_t batches = 0;
+    nn::Batch batch;
+    while (loader.next(batch)) {
+      optimizer.zero_grad();
+      nn::Tensor logits = model.forward(batch.inputs);
+      train_loss_acc += loss_fn.forward(logits, batch.labels);
+      model.backward(loss_fn.backward());
+      optimizer.step();
+      ++batches;
+    }
+
+    EpochStats stats;
+    stats.train_loss =
+        batches > 0 ? train_loss_acc / static_cast<double>(batches) : 0.0;
+    auto [val_loss, val_cm] = evaluate(model, split.val);
+    stats.val_loss = val_loss;
+    stats.val_accuracy = val_cm.accuracy();
+    report.epochs.push_back(stats);
+
+    if (val_loss < report.best_val_loss) {
+      report.best_val_loss = val_loss;
+      report.best_epoch = epoch;
+      best_state = nn::snapshot_module(model);
+    }
+  }
+
+  nn::restore_module(model, best_state);
+  if (split.test.size() > 0) {
+    auto [test_loss, test_cm] = evaluate(model, split.test);
+    (void)test_loss;
+    report.test_confusion = test_cm;
+  }
+  model.set_training(false);
+  return report;
+}
+
+}  // namespace scalocate::core

@@ -1,0 +1,47 @@
+// CNN training pipeline (Section IV-B): Adam on the cross-entropy loss,
+// mini-batches of 64, validation after every epoch, and the
+// lowest-validation-error model kept.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/metrics.hpp"
+#include "core/params.hpp"
+#include "nn/sequential.hpp"
+
+namespace scalocate::core {
+
+struct EpochStats {
+  double train_loss = 0.0;
+  double val_loss = 0.0;
+  double val_accuracy = 0.0;
+};
+
+struct TrainReport {
+  std::vector<EpochStats> epochs;
+  std::size_t best_epoch = 0;
+  double best_val_loss = 0.0;
+  ConfusionMatrix test_confusion;  ///< on the held-out 5% test split
+};
+
+class Trainer {
+ public:
+  Trainer(const PipelineParams& params, std::uint64_t seed = 23);
+
+  /// Trains `model` in place on `split.train`, selecting the epoch with the
+  /// lowest validation loss (its weights are restored into `model`), then
+  /// fills the test confusion matrix.
+  TrainReport fit(nn::Sequential& model, const DatasetSplit& split) const;
+
+  /// Evaluates `model` on a dataset: returns (mean loss, confusion matrix).
+  std::pair<double, ConfusionMatrix> evaluate(nn::Sequential& model,
+                                              const WindowDataset& data) const;
+
+ private:
+  PipelineParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace scalocate::core

@@ -1,0 +1,220 @@
+#include "crypto/aes128.hpp"
+
+#include "common/error.hpp"
+
+namespace scalocate::crypto {
+
+namespace {
+
+constexpr std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+constexpr std::uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                                    0x20, 0x40, 0x80, 0x1b, 0x36};
+
+// Inverse S-box computed once from kSbox at static-init time.
+struct InvSbox {
+  std::uint8_t table[256];
+  InvSbox() {
+    for (int i = 0; i < 256; ++i) table[kSbox[i]] = static_cast<std::uint8_t>(i);
+  }
+};
+const InvSbox kInvSbox;
+
+// GF(2^8) multiply (mod x^8+x^4+x^3+x+1), used by InvMixColumns.
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t acc = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) acc = static_cast<std::uint8_t>(acc ^ a);
+    const bool hi = (a & 0x80) != 0;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (hi) a = static_cast<std::uint8_t>(a ^ 0x1b);
+    b = static_cast<std::uint8_t>(b >> 1);
+  }
+  return acc;
+}
+
+}  // namespace
+
+Aes128::Aes128() = default;
+
+std::uint8_t Aes128::sbox(std::uint8_t x) { return kSbox[x]; }
+
+std::uint8_t Aes128::inv_sbox(std::uint8_t x) { return kInvSbox.table[x]; }
+
+std::uint8_t Aes128::xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+void Aes128::set_key(const Key16& key) {
+  for (std::size_t i = 0; i < 16; ++i) round_keys_[i] = key[i];
+  for (std::size_t i = 4; i < 44; ++i) {
+    std::uint8_t t[4] = {round_keys_[4 * (i - 1)], round_keys_[4 * (i - 1) + 1],
+                         round_keys_[4 * (i - 1) + 2],
+                         round_keys_[4 * (i - 1) + 3]};
+    if (i % 4 == 0) {
+      const std::uint8_t tmp = t[0];
+      t[0] = static_cast<std::uint8_t>(kSbox[t[1]] ^ kRcon[i / 4 - 1]);
+      t[1] = kSbox[t[2]];
+      t[2] = kSbox[t[3]];
+      t[3] = kSbox[tmp];
+    }
+    for (std::size_t j = 0; j < 4; ++j)
+      round_keys_[4 * i + j] =
+          static_cast<std::uint8_t>(round_keys_[4 * (i - 4) + j] ^ t[j]);
+  }
+  has_key_ = true;
+}
+
+Block16 Aes128::encrypt(const Block16& plaintext, EventSink* sink) const {
+  detail::require(has_key_, "Aes128::encrypt: set_key not called");
+  Tracer tr(sink);
+  Block16 state{};
+
+  // Load plaintext (16 loads on a byte-oriented software implementation).
+  for (std::size_t i = 0; i < 16; ++i) {
+    state[i] = plaintext[i];
+    tr.emit(OpClass::kLoad, state[i]);
+  }
+
+  const auto add_round_key = [&](std::size_t round) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      state[i] = static_cast<std::uint8_t>(state[i] ^ round_keys_[16 * round + i]);
+      tr.emit(OpClass::kXor, state[i]);
+    }
+  };
+
+  const auto sub_bytes = [&] {
+    // Byte-wise software S-box: table load then store back to the state
+    // array; both bus transfers carry the sub-byte intermediate (the value
+    // CPA targets), as in the OpenSSL-style byte-oriented implementation.
+    for (std::size_t i = 0; i < 16; ++i) {
+      state[i] = kSbox[state[i]];
+      tr.emit(OpClass::kSbox, state[i]);  // table read: data bus -> register
+      tr.emit(OpClass::kXor, state[i]);   // register move in the datapath
+      tr.emit(OpClass::kStore, state[i]); // store back to the state array
+    }
+  };
+
+  const auto shift_rows = [&] {
+    // Row r rotates left by r positions (state is column-major). The
+    // software implementation copies bytes through a temporary, so each
+    // state byte crosses the bus again (load + store).
+    Block16 t = state;
+    for (std::size_t r = 1; r < 4; ++r) {
+      for (std::size_t c = 0; c < 4; ++c) {
+        state[r + 4 * c] = t[r + 4 * ((c + r) % 4)];
+        tr.emit(OpClass::kLoad, state[r + 4 * c]);
+        tr.emit(OpClass::kStore, state[r + 4 * c]);
+      }
+    }
+  };
+
+  const auto mix_columns = [&] {
+    for (std::size_t c = 0; c < 4; ++c) {
+      std::uint8_t* col = &state[4 * c];
+      const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      const std::uint8_t all = static_cast<std::uint8_t>(a0 ^ a1 ^ a2 ^ a3);
+      tr.emit(OpClass::kXor, all);
+      const std::uint8_t x0 = xtime(static_cast<std::uint8_t>(a0 ^ a1));
+      const std::uint8_t x1 = xtime(static_cast<std::uint8_t>(a1 ^ a2));
+      const std::uint8_t x2 = xtime(static_cast<std::uint8_t>(a2 ^ a3));
+      const std::uint8_t x3 = xtime(static_cast<std::uint8_t>(a3 ^ a0));
+      tr.emit(OpClass::kMul, x0);
+      tr.emit(OpClass::kMul, x1);
+      tr.emit(OpClass::kMul, x2);
+      tr.emit(OpClass::kMul, x3);
+      col[0] = static_cast<std::uint8_t>(a0 ^ x0 ^ all);
+      col[1] = static_cast<std::uint8_t>(a1 ^ x1 ^ all);
+      col[2] = static_cast<std::uint8_t>(a2 ^ x2 ^ all);
+      col[3] = static_cast<std::uint8_t>(a3 ^ x3 ^ all);
+      for (std::size_t r = 0; r < 4; ++r) tr.emit(OpClass::kXor, col[r]);
+    }
+  };
+
+  add_round_key(0);
+  for (std::size_t round = 1; round <= 9; ++round) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+
+  // Store ciphertext.
+  for (std::size_t i = 0; i < 16; ++i) tr.emit(OpClass::kStore, state[i]);
+  return state;
+}
+
+Block16 Aes128::decrypt(const Block16& ciphertext) const {
+  detail::require(has_key_, "Aes128::decrypt: set_key not called");
+  Block16 state = ciphertext;
+
+  const auto add_round_key = [&](std::size_t round) {
+    for (std::size_t i = 0; i < 16; ++i)
+      state[i] = static_cast<std::uint8_t>(state[i] ^ round_keys_[16 * round + i]);
+  };
+
+  const auto inv_sub_bytes = [&] {
+    for (auto& b : state) b = kInvSbox.table[b];
+  };
+
+  const auto inv_shift_rows = [&] {
+    Block16 t = state;
+    for (std::size_t r = 1; r < 4; ++r)
+      for (std::size_t c = 0; c < 4; ++c)
+        state[r + 4 * ((c + r) % 4)] = t[r + 4 * c];
+  };
+
+  const auto inv_mix_columns = [&] {
+    for (std::size_t c = 0; c < 4; ++c) {
+      std::uint8_t* col = &state[4 * c];
+      const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      col[0] = static_cast<std::uint8_t>(gf_mul(a0, 0x0e) ^ gf_mul(a1, 0x0b) ^
+                                         gf_mul(a2, 0x0d) ^ gf_mul(a3, 0x09));
+      col[1] = static_cast<std::uint8_t>(gf_mul(a0, 0x09) ^ gf_mul(a1, 0x0e) ^
+                                         gf_mul(a2, 0x0b) ^ gf_mul(a3, 0x0d));
+      col[2] = static_cast<std::uint8_t>(gf_mul(a0, 0x0d) ^ gf_mul(a1, 0x09) ^
+                                         gf_mul(a2, 0x0e) ^ gf_mul(a3, 0x0b));
+      col[3] = static_cast<std::uint8_t>(gf_mul(a0, 0x0b) ^ gf_mul(a1, 0x0d) ^
+                                         gf_mul(a2, 0x09) ^ gf_mul(a3, 0x0e));
+    }
+  };
+
+  add_round_key(10);
+  inv_shift_rows();
+  inv_sub_bytes();
+  for (std::size_t round = 9; round >= 1; --round) {
+    add_round_key(round);
+    inv_mix_columns();
+    inv_shift_rows();
+    inv_sub_bytes();
+  }
+  add_round_key(0);
+  return state;
+}
+
+}  // namespace scalocate::crypto

@@ -1,0 +1,39 @@
+// AES-128 (FIPS-197), constant-time-structure software implementation
+// mirroring the unprotected OpenSSL-style cipher used by the paper.
+//
+// The implementation is byte-oriented (one S-box lookup per state byte) so
+// the emitted event stream matches what a 32-bit RISC-V software AES
+// executes, and the first-round S-box output -- the sub-byte intermediate
+// CPA targets in Section IV-C -- leaks through kSbox events.
+#pragma once
+
+#include "crypto/cipher.hpp"
+
+namespace scalocate::crypto {
+
+class Aes128 final : public BlockCipher {
+ public:
+  Aes128();
+
+  std::string name() const override { return "AES-128"; }
+  void set_key(const Key16& key) override;
+  Block16 encrypt(const Block16& plaintext,
+                  EventSink* sink = nullptr) const override;
+  Block16 decrypt(const Block16& ciphertext) const override;
+
+  /// Forward S-box, exposed for CPA leakage-model computation.
+  static std::uint8_t sbox(std::uint8_t x);
+
+  /// Inverse S-box.
+  static std::uint8_t inv_sbox(std::uint8_t x);
+
+  /// xtime (multiplication by 2 in GF(2^8) mod x^8+x^4+x^3+x+1).
+  static std::uint8_t xtime(std::uint8_t x);
+
+ private:
+  // 11 round keys of 16 bytes each.
+  std::array<std::uint8_t, 176> round_keys_{};
+  bool has_key_ = false;
+};
+
+}  // namespace scalocate::crypto

@@ -1,0 +1,274 @@
+#include "crypto/camellia128.hpp"
+
+#include "common/error.hpp"
+
+namespace scalocate::crypto {
+
+namespace {
+
+// SBOX1 from RFC 3713; SBOX2/3/4 are rotations of it (see below).
+constexpr std::uint8_t kSbox1[256] = {
+    112, 130, 44,  236, 179, 39,  192, 229, 228, 133, 87,  53,  234, 12,
+    174, 65,  35,  239, 107, 147, 69,  25,  165, 33,  237, 14,  79,  78,
+    29,  101, 146, 189, 134, 184, 175, 143, 124, 235, 31,  206, 62,  48,
+    220, 95,  94,  197, 11,  26,  166, 225, 57,  202, 213, 71,  93,  61,
+    217, 1,   90,  214, 81,  86,  108, 77,  139, 13,  154, 102, 251, 204,
+    176, 45,  116, 18,  43,  32,  240, 177, 132, 153, 223, 76,  203, 194,
+    52,  126, 118, 5,   109, 183, 169, 49,  209, 23,  4,   215, 20,  88,
+    58,  97,  222, 27,  17,  28,  50,  15,  156, 22,  83,  24,  242, 34,
+    254, 68,  207, 178, 195, 181, 122, 145, 36,  8,   232, 168, 96,  252,
+    105, 80,  170, 208, 160, 125, 161, 137, 98,  151, 84,  91,  30,  149,
+    224, 255, 100, 210, 16,  196, 0,   72,  163, 247, 117, 219, 138, 3,
+    230, 218, 9,   63,  221, 148, 135, 92,  131, 2,   205, 74,  144, 51,
+    115, 103, 246, 243, 157, 127, 191, 226, 82,  155, 216, 38,  200, 55,
+    198, 59,  129, 150, 111, 75,  19,  190, 99,  46,  233, 121, 167, 140,
+    159, 110, 188, 142, 41,  245, 249, 182, 47,  253, 180, 89,  120, 152,
+    6,   106, 231, 70,  113, 186, 212, 37,  171, 66,  136, 162, 141, 250,
+    114, 7,   185, 85,  248, 238, 172, 10,  54,  73,  42,  104, 60,  56,
+    241, 164, 64,  40,  211, 123, 187, 201, 67,  193, 21,  227, 173, 244,
+    119, 199, 128, 158};
+
+inline std::uint8_t rotl8(std::uint8_t x, int n) {
+  return static_cast<std::uint8_t>((x << n) | (x >> (8 - n)));
+}
+
+inline std::uint8_t sbox1(std::uint8_t x) { return kSbox1[x]; }
+inline std::uint8_t sbox2(std::uint8_t x) { return rotl8(kSbox1[x], 1); }
+inline std::uint8_t sbox3(std::uint8_t x) { return rotl8(kSbox1[x], 7); }
+inline std::uint8_t sbox4(std::uint8_t x) { return kSbox1[rotl8(x, 1)]; }
+
+inline std::uint32_t rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+constexpr std::uint64_t kSigma1 = 0xA09E667F3BCC908BULL;
+constexpr std::uint64_t kSigma2 = 0xB67AE8584CAA73B2ULL;
+constexpr std::uint64_t kSigma3 = 0xC6EF372FE94F82BEULL;
+constexpr std::uint64_t kSigma4 = 0x54FF53A5F1D36F1CULL;
+
+// 128-bit value as two big-endian 64-bit halves with rotate-left support.
+struct U128 {
+  std::uint64_t hi = 0, lo = 0;
+
+  U128 rotl(unsigned n) const {
+    n %= 128;
+    if (n == 0) return *this;
+    if (n == 64) return {lo, hi};
+    if (n < 64)
+      return {(hi << n) | (lo >> (64 - n)), (lo << n) | (hi >> (64 - n))};
+    const unsigned m = n - 64;
+    return {(lo << m) | (hi >> (64 - m)), (hi << m) | (lo >> (64 - m))};
+  }
+};
+
+// The untraced F function (used by the key schedule).
+std::uint64_t f_plain(std::uint64_t in, std::uint64_t ke) {
+  const std::uint64_t x = in ^ ke;
+  std::uint8_t t[8];
+  for (int i = 0; i < 8; ++i)
+    t[i] = static_cast<std::uint8_t>(x >> (56 - 8 * i));
+  t[0] = sbox1(t[0]);
+  t[1] = sbox2(t[1]);
+  t[2] = sbox3(t[2]);
+  t[3] = sbox4(t[3]);
+  t[4] = sbox2(t[4]);
+  t[5] = sbox3(t[5]);
+  t[6] = sbox4(t[6]);
+  t[7] = sbox1(t[7]);
+  std::uint8_t y[8];
+  y[0] = static_cast<std::uint8_t>(t[0] ^ t[2] ^ t[3] ^ t[5] ^ t[6] ^ t[7]);
+  y[1] = static_cast<std::uint8_t>(t[0] ^ t[1] ^ t[3] ^ t[4] ^ t[6] ^ t[7]);
+  y[2] = static_cast<std::uint8_t>(t[0] ^ t[1] ^ t[2] ^ t[4] ^ t[5] ^ t[7]);
+  y[3] = static_cast<std::uint8_t>(t[1] ^ t[2] ^ t[3] ^ t[4] ^ t[5] ^ t[6]);
+  y[4] = static_cast<std::uint8_t>(t[0] ^ t[1] ^ t[5] ^ t[6] ^ t[7]);
+  y[5] = static_cast<std::uint8_t>(t[1] ^ t[2] ^ t[4] ^ t[6] ^ t[7]);
+  y[6] = static_cast<std::uint8_t>(t[2] ^ t[3] ^ t[4] ^ t[5] ^ t[7]);
+  y[7] = static_cast<std::uint8_t>(t[0] ^ t[3] ^ t[4] ^ t[5] ^ t[6]);
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) out = (out << 8) | y[i];
+  return out;
+}
+
+std::uint64_t fl(std::uint64_t in, std::uint64_t ke) {
+  auto x1 = static_cast<std::uint32_t>(in >> 32);
+  auto x2 = static_cast<std::uint32_t>(in);
+  const auto k1 = static_cast<std::uint32_t>(ke >> 32);
+  const auto k2 = static_cast<std::uint32_t>(ke);
+  x2 ^= rotl32(x1 & k1, 1);
+  x1 ^= (x2 | k2);
+  return (static_cast<std::uint64_t>(x1) << 32) | x2;
+}
+
+std::uint64_t fl_inv(std::uint64_t in, std::uint64_t ke) {
+  auto y1 = static_cast<std::uint32_t>(in >> 32);
+  auto y2 = static_cast<std::uint32_t>(in);
+  const auto k1 = static_cast<std::uint32_t>(ke >> 32);
+  const auto k2 = static_cast<std::uint32_t>(ke);
+  y1 ^= (y2 | k2);
+  y2 ^= rotl32(y1 & k1, 1);
+  return (static_cast<std::uint64_t>(y1) << 32) | y2;
+}
+
+U128 load_block(const Block16& b) {
+  U128 v;
+  for (int i = 0; i < 8; ++i) v.hi = (v.hi << 8) | b[static_cast<std::size_t>(i)];
+  for (int i = 8; i < 16; ++i) v.lo = (v.lo << 8) | b[static_cast<std::size_t>(i)];
+  return v;
+}
+
+Block16 store_block(const U128& v) {
+  Block16 b{};
+  for (int i = 0; i < 8; ++i)
+    b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v.hi >> (56 - 8 * i));
+  for (int i = 0; i < 8; ++i)
+    b[static_cast<std::size_t>(8 + i)] = static_cast<std::uint8_t>(v.lo >> (56 - 8 * i));
+  return b;
+}
+
+}  // namespace
+
+Camellia128::Camellia128() = default;
+
+std::uint64_t Camellia128::f(std::uint64_t in, std::uint64_t ke,
+                             Tracer& tr) const {
+  const std::uint64_t x = in ^ ke;
+  tr.emit(OpClass::kXor, x, 64);
+  std::uint8_t t[8];
+  for (int i = 0; i < 8; ++i)
+    t[i] = static_cast<std::uint8_t>(x >> (56 - 8 * i));
+  t[0] = sbox1(t[0]);
+  t[1] = sbox2(t[1]);
+  t[2] = sbox3(t[2]);
+  t[3] = sbox4(t[3]);
+  t[4] = sbox2(t[4]);
+  t[5] = sbox3(t[5]);
+  t[6] = sbox4(t[6]);
+  t[7] = sbox1(t[7]);
+  for (int i = 0; i < 8; ++i) tr.emit(OpClass::kSbox, t[i]);
+  std::uint8_t y[8];
+  y[0] = static_cast<std::uint8_t>(t[0] ^ t[2] ^ t[3] ^ t[5] ^ t[6] ^ t[7]);
+  y[1] = static_cast<std::uint8_t>(t[0] ^ t[1] ^ t[3] ^ t[4] ^ t[6] ^ t[7]);
+  y[2] = static_cast<std::uint8_t>(t[0] ^ t[1] ^ t[2] ^ t[4] ^ t[5] ^ t[7]);
+  y[3] = static_cast<std::uint8_t>(t[1] ^ t[2] ^ t[3] ^ t[4] ^ t[5] ^ t[6]);
+  y[4] = static_cast<std::uint8_t>(t[0] ^ t[1] ^ t[5] ^ t[6] ^ t[7]);
+  y[5] = static_cast<std::uint8_t>(t[1] ^ t[2] ^ t[4] ^ t[6] ^ t[7]);
+  y[6] = static_cast<std::uint8_t>(t[2] ^ t[3] ^ t[4] ^ t[5] ^ t[7]);
+  y[7] = static_cast<std::uint8_t>(t[0] ^ t[3] ^ t[4] ^ t[5] ^ t[6]);
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) out = (out << 8) | y[i];
+  tr.emit(OpClass::kXor, out, 64);
+  return out;
+}
+
+void Camellia128::set_key(const Key16& key) {
+  const U128 kl = load_block(key);
+
+  // Derive KA from KL (KR = 0 for 128-bit keys).
+  std::uint64_t d1 = kl.hi;
+  std::uint64_t d2 = kl.lo;
+  d2 ^= f_plain(d1, kSigma1);
+  d1 ^= f_plain(d2, kSigma2);
+  d1 ^= kl.hi;
+  d2 ^= kl.lo;
+  d2 ^= f_plain(d1, kSigma3);
+  d1 ^= f_plain(d2, kSigma4);
+  const U128 ka{d1, d2};
+
+  kw_[0] = kl.rotl(0).hi;
+  kw_[1] = kl.rotl(0).lo;
+  k_[0] = ka.rotl(0).hi;
+  k_[1] = ka.rotl(0).lo;
+  k_[2] = kl.rotl(15).hi;
+  k_[3] = kl.rotl(15).lo;
+  k_[4] = ka.rotl(15).hi;
+  k_[5] = ka.rotl(15).lo;
+  ke_[0] = ka.rotl(30).hi;
+  ke_[1] = ka.rotl(30).lo;
+  k_[6] = kl.rotl(45).hi;
+  k_[7] = kl.rotl(45).lo;
+  k_[8] = ka.rotl(45).hi;
+  k_[9] = kl.rotl(60).lo;
+  k_[10] = ka.rotl(60).hi;
+  k_[11] = ka.rotl(60).lo;
+  ke_[2] = kl.rotl(77).hi;
+  ke_[3] = kl.rotl(77).lo;
+  k_[12] = kl.rotl(94).hi;
+  k_[13] = kl.rotl(94).lo;
+  k_[14] = ka.rotl(94).hi;
+  k_[15] = ka.rotl(94).lo;
+  k_[16] = kl.rotl(111).hi;
+  k_[17] = kl.rotl(111).lo;
+  kw_[2] = ka.rotl(111).hi;
+  kw_[3] = ka.rotl(111).lo;
+  has_key_ = true;
+}
+
+Block16 Camellia128::encrypt(const Block16& plaintext, EventSink* sink) const {
+  detail::require(has_key_, "Camellia128::encrypt: set_key not called");
+  Tracer tr(sink);
+  const U128 m = load_block(plaintext);
+  std::uint64_t d1 = m.hi;
+  std::uint64_t d2 = m.lo;
+  tr.emit(OpClass::kLoad, d1, 64);
+  tr.emit(OpClass::kLoad, d2, 64);
+
+  d1 ^= kw_[0];
+  d2 ^= kw_[1];
+  tr.emit(OpClass::kXor, d1, 64);
+  tr.emit(OpClass::kXor, d2, 64);
+
+  for (std::size_t round = 0; round < 18; round += 2) {
+    d2 ^= f(d1, k_[round], tr);
+    tr.emit(OpClass::kXor, d2, 64);
+    d1 ^= f(d2, k_[round + 1], tr);
+    tr.emit(OpClass::kXor, d1, 64);
+    if (round == 4) {
+      d1 = fl(d1, ke_[0]);
+      d2 = fl_inv(d2, ke_[1]);
+      tr.emit(OpClass::kShift, d1, 64);
+      tr.emit(OpClass::kShift, d2, 64);
+    } else if (round == 10) {
+      d1 = fl(d1, ke_[2]);
+      d2 = fl_inv(d2, ke_[3]);
+      tr.emit(OpClass::kShift, d1, 64);
+      tr.emit(OpClass::kShift, d2, 64);
+    }
+  }
+
+  d2 ^= kw_[2];
+  d1 ^= kw_[3];
+  tr.emit(OpClass::kStore, d2, 64);
+  tr.emit(OpClass::kStore, d1, 64);
+  return store_block(U128{d2, d1});
+}
+
+Block16 Camellia128::decrypt(const Block16& ciphertext) const {
+  detail::require(has_key_, "Camellia128::decrypt: set_key not called");
+  const U128 c = load_block(ciphertext);
+  std::uint64_t d2 = c.hi;
+  std::uint64_t d1 = c.lo;
+
+  d2 ^= kw_[2];
+  d1 ^= kw_[3];
+
+  // Inverse of the encryption network: run rounds backwards.
+  for (int round = 16; round >= 0; round -= 2) {
+    d1 ^= f_plain(d2, k_[static_cast<std::size_t>(round + 1)]);
+    d2 ^= f_plain(d1, k_[static_cast<std::size_t>(round)]);
+    if (round == 6) {
+      // Undo the first FL layer (applied after encryption rounds 4/5).
+      d1 = fl_inv(d1, ke_[0]);
+      d2 = fl(d2, ke_[1]);
+    } else if (round == 12) {
+      // Undo the second FL layer (applied after encryption rounds 10/11).
+      d1 = fl_inv(d1, ke_[2]);
+      d2 = fl(d2, ke_[3]);
+    }
+  }
+
+  d1 ^= kw_[0];
+  d2 ^= kw_[1];
+  return store_block(U128{d1, d2});
+}
+
+}  // namespace scalocate::crypto

@@ -1,0 +1,330 @@
+#include "crypto/clefia128.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace scalocate::crypto {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// GF(2^8) arithmetic with CLEFIA's polynomial z^8 + z^4 + z^3 + z^2 + 1
+// (0x11d).
+// ---------------------------------------------------------------------------
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t acc = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) acc = static_cast<std::uint8_t>(acc ^ a);
+    const bool hi = (a & 0x80) != 0;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (hi) a = static_cast<std::uint8_t>(a ^ 0x1d);
+    b = static_cast<std::uint8_t>(b >> 1);
+  }
+  return acc;
+}
+
+std::uint8_t gf_inv(std::uint8_t a) {
+  if (a == 0) return 0;
+  // a^(2^8-2) via square-and-multiply.
+  std::uint8_t result = 1;
+  std::uint8_t base = a;
+  int e = 254;
+  while (e > 0) {
+    if (e & 1) result = gf_mul(result, base);
+    base = gf_mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+// 4-bit S-boxes used to build S0 (CLEFIA construction: two nibble S-box
+// layers around a GF(2^4) [1 2; 2 1] mix).
+constexpr std::uint8_t kSS0[16] = {0xe, 0x6, 0xc, 0xa, 0x8, 0x7, 0x2, 0xf,
+                                   0xb, 0x1, 0x4, 0x0, 0x5, 0x9, 0xd, 0x3};
+constexpr std::uint8_t kSS1[16] = {0x6, 0x4, 0x0, 0xd, 0x2, 0xb, 0xa, 0x3,
+                                   0x9, 0xc, 0xe, 0xf, 0x8, 0x7, 0x5, 0x1};
+constexpr std::uint8_t kSS2[16] = {0xb, 0x8, 0x5, 0xe, 0xa, 0x6, 0x4, 0xc,
+                                   0xf, 0x7, 0x2, 0x3, 0x1, 0x0, 0xd, 0x9};
+constexpr std::uint8_t kSS3[16] = {0xa, 0x2, 0x6, 0xd, 0x3, 0x4, 0x5, 0xe,
+                                   0x0, 0x7, 0x8, 0x9, 0xb, 0xf, 0xc, 0x1};
+
+// GF(2^4) multiply by 2, polynomial z^4 + z + 1.
+std::uint8_t mul2_gf16(std::uint8_t x) {
+  const std::uint8_t shifted = static_cast<std::uint8_t>(x << 1);
+  return static_cast<std::uint8_t>((shifted & 0x0f) ^ ((x & 0x8) ? 0x3 : 0x0));
+}
+
+struct SboxTables {
+  std::uint8_t s0[256];
+  std::uint8_t s1[256];
+  SboxTables() {
+    for (int x = 0; x < 256; ++x) {
+      // S0: SS layer, GF(2^4) mix [1 2; 2 1], SS layer.
+      const std::uint8_t xh = static_cast<std::uint8_t>(x >> 4);
+      const std::uint8_t xl = static_cast<std::uint8_t>(x & 0x0f);
+      const std::uint8_t th = kSS0[xh];
+      const std::uint8_t tl = kSS1[xl];
+      const std::uint8_t uh = static_cast<std::uint8_t>(th ^ mul2_gf16(tl));
+      const std::uint8_t ul = static_cast<std::uint8_t>(mul2_gf16(th) ^ tl);
+      s0[x] = static_cast<std::uint8_t>((kSS2[uh] << 4) | kSS3[ul]);
+
+      // S1: inversion in GF(2^8)/0x11d followed by an invertible affine map
+      // (multiplication by the nonzero constant 0x1d, then XOR 0x63).
+      // The official CLEFIA affine layer uses fixed bit-matrices; this
+      // substitution keeps the inversion-based nonlinearity and bijectivity.
+      const std::uint8_t inv = gf_inv(static_cast<std::uint8_t>(x));
+      s1[x] = static_cast<std::uint8_t>(gf_mul(inv, 0x1d) ^ 0x63);
+    }
+  }
+};
+const SboxTables kTables;
+
+// M0/M1 diffusion matrices (cyclic, official CLEFIA values).
+constexpr std::uint8_t kM0[4][4] = {{0x1, 0x2, 0x4, 0x6},
+                                    {0x2, 0x1, 0x6, 0x4},
+                                    {0x4, 0x6, 0x1, 0x2},
+                                    {0x6, 0x4, 0x2, 0x1}};
+constexpr std::uint8_t kM1[4][4] = {{0x1, 0x8, 0x2, 0xa},
+                                    {0x8, 0x1, 0xa, 0x2},
+                                    {0x2, 0xa, 0x1, 0x8},
+                                    {0xa, 0x2, 0x8, 0x1}};
+
+std::uint32_t apply_matrix(const std::uint8_t m[4][4], const std::uint8_t t[4]) {
+  std::uint8_t y[4];
+  for (int r = 0; r < 4; ++r) {
+    y[r] = 0;
+    for (int c = 0; c < 4; ++c)
+      y[r] = static_cast<std::uint8_t>(y[r] ^ gf_mul(m[r][c], t[c]));
+  }
+  return (static_cast<std::uint32_t>(y[0]) << 24) |
+         (static_cast<std::uint32_t>(y[1]) << 16) |
+         (static_cast<std::uint32_t>(y[2]) << 8) | y[3];
+}
+
+// CON constants: deterministically regenerated (see header substitution
+// note). 60 32-bit words: 24 for the GFN_{4,12} producing L, 36 for the
+// round/whitening key derivation.
+struct ConTable {
+  std::uint32_t con[60];
+  ConTable() {
+    std::uint64_t seed = 0xc1ef1a128ULL;
+    for (auto& c : con) c = static_cast<std::uint32_t>(splitmix64(seed));
+  }
+};
+const ConTable kCon;
+
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+// Untraced F functions for the key schedule.
+std::uint32_t f0_plain(std::uint32_t x, std::uint32_t rk) {
+  const std::uint32_t v = x ^ rk;
+  std::uint8_t t[4] = {static_cast<std::uint8_t>(v >> 24),
+                       static_cast<std::uint8_t>(v >> 16),
+                       static_cast<std::uint8_t>(v >> 8),
+                       static_cast<std::uint8_t>(v)};
+  t[0] = kTables.s0[t[0]];
+  t[1] = kTables.s1[t[1]];
+  t[2] = kTables.s0[t[2]];
+  t[3] = kTables.s1[t[3]];
+  return apply_matrix(kM0, t);
+}
+
+std::uint32_t f1_plain(std::uint32_t x, std::uint32_t rk) {
+  const std::uint32_t v = x ^ rk;
+  std::uint8_t t[4] = {static_cast<std::uint8_t>(v >> 24),
+                       static_cast<std::uint8_t>(v >> 16),
+                       static_cast<std::uint8_t>(v >> 8),
+                       static_cast<std::uint8_t>(v)};
+  t[0] = kTables.s1[t[0]];
+  t[1] = kTables.s0[t[1]];
+  t[2] = kTables.s1[t[2]];
+  t[3] = kTables.s0[t[3]];
+  return apply_matrix(kM1, t);
+}
+
+// DoubleSwap Sigma on a 128-bit value held as four big-endian 32-bit words:
+// Sigma(X) = X[7..63] | X[121..127] | X[0..6] | X[64..120]
+// (bit 0 = most significant bit of word 0).
+void double_swap(std::uint32_t x[4]) {
+  // Work on the two 64-bit halves.
+  const std::uint64_t hi =
+      (static_cast<std::uint64_t>(x[0]) << 32) | x[1];
+  const std::uint64_t lo =
+      (static_cast<std::uint64_t>(x[2]) << 32) | x[3];
+  // New high half: bits 7..63 of hi (57 bits) followed by bits 121..127 of
+  // lo (low 7 bits).
+  const std::uint64_t new_hi = (hi << 7) | (lo & 0x7f);
+  // New low half: bits 0..6 of hi (top 7 bits) followed by bits 64..120
+  // (top 57 bits of lo).
+  const std::uint64_t new_lo = ((hi >> 57) << 57) | (lo >> 7);
+  x[0] = static_cast<std::uint32_t>(new_hi >> 32);
+  x[1] = static_cast<std::uint32_t>(new_hi);
+  x[2] = static_cast<std::uint32_t>(new_lo >> 32);
+  x[3] = static_cast<std::uint32_t>(new_lo);
+}
+
+}  // namespace
+
+Clefia128::Clefia128() = default;
+
+std::uint8_t Clefia128::s0(std::uint8_t x) { return kTables.s0[x]; }
+std::uint8_t Clefia128::s1(std::uint8_t x) { return kTables.s1[x]; }
+
+std::uint32_t Clefia128::f0(std::uint32_t x, std::uint32_t rk,
+                            Tracer& tr) const {
+  const std::uint32_t v = x ^ rk;
+  tr.emit(OpClass::kXor, v, 32);
+  std::uint8_t t[4] = {static_cast<std::uint8_t>(v >> 24),
+                       static_cast<std::uint8_t>(v >> 16),
+                       static_cast<std::uint8_t>(v >> 8),
+                       static_cast<std::uint8_t>(v)};
+  t[0] = kTables.s0[t[0]];
+  t[1] = kTables.s1[t[1]];
+  t[2] = kTables.s0[t[2]];
+  t[3] = kTables.s1[t[3]];
+  for (auto b : t) tr.emit(OpClass::kSbox, b);
+  const std::uint32_t y = apply_matrix(kM0, t);
+  tr.emit(OpClass::kMul, y, 32);
+  return y;
+}
+
+std::uint32_t Clefia128::f1(std::uint32_t x, std::uint32_t rk,
+                            Tracer& tr) const {
+  const std::uint32_t v = x ^ rk;
+  tr.emit(OpClass::kXor, v, 32);
+  std::uint8_t t[4] = {static_cast<std::uint8_t>(v >> 24),
+                       static_cast<std::uint8_t>(v >> 16),
+                       static_cast<std::uint8_t>(v >> 8),
+                       static_cast<std::uint8_t>(v)};
+  t[0] = kTables.s1[t[0]];
+  t[1] = kTables.s0[t[1]];
+  t[2] = kTables.s1[t[2]];
+  t[3] = kTables.s0[t[3]];
+  for (auto b : t) tr.emit(OpClass::kSbox, b);
+  const std::uint32_t y = apply_matrix(kM1, t);
+  tr.emit(OpClass::kMul, y, 32);
+  return y;
+}
+
+void Clefia128::set_key(const Key16& key) {
+  std::uint32_t k[4];
+  for (int i = 0; i < 4; ++i) k[i] = load_be32(key.data() + 4 * i);
+
+  // L = GFN_{4,12}(CON[0..23], K): 12 rounds of the 4-branch GFN.
+  std::uint32_t l[4] = {k[0], k[1], k[2], k[3]};
+  for (std::size_t r = 0; r < 12; ++r) {
+    const std::uint32_t t0 = l[1] ^ f0_plain(l[0], kCon.con[2 * r]);
+    const std::uint32_t t1 = l[3] ^ f1_plain(l[2], kCon.con[2 * r + 1]);
+    // Branch rotation of the type-2 GFN.
+    const std::uint32_t n0 = t0, n1 = l[2], n2 = t1, n3 = l[0];
+    l[0] = n0;
+    l[1] = n1;
+    l[2] = n2;
+    l[3] = n3;
+  }
+
+  // Whitening keys: WK0..3 = K.
+  for (int i = 0; i < 4; ++i) wk_[i] = k[i];
+
+  // Round keys: 36 words from DoubleSwap iterations of L (official
+  // schedule shape: every odd step additionally XORs the user key).
+  std::size_t con_idx = 24;
+  for (std::size_t i = 0; i < 9; ++i) {
+    std::uint32_t t[4] = {l[0] ^ kCon.con[con_idx], l[1] ^ kCon.con[con_idx + 1],
+                          l[2] ^ kCon.con[con_idx + 2],
+                          l[3] ^ kCon.con[con_idx + 3]};
+    con_idx += 4;
+    if (i % 2 == 1)
+      for (int j = 0; j < 4; ++j) t[j] ^= k[j];
+    for (int j = 0; j < 4; ++j) rk_[4 * i + static_cast<std::size_t>(j)] = t[j];
+    double_swap(l);
+  }
+  has_key_ = true;
+}
+
+Block16 Clefia128::encrypt(const Block16& plaintext, EventSink* sink) const {
+  detail::require(has_key_, "Clefia128::encrypt: set_key not called");
+  Tracer tr(sink);
+  std::uint32_t p[4];
+  for (int i = 0; i < 4; ++i) {
+    p[i] = load_be32(plaintext.data() + 4 * i);
+    tr.emit(OpClass::kLoad, p[i], 32);
+  }
+
+  // Initial whitening on branches 1 and 3.
+  p[1] ^= wk_[0];
+  p[3] ^= wk_[1];
+  tr.emit(OpClass::kXor, p[1], 32);
+  tr.emit(OpClass::kXor, p[3], 32);
+
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    const std::uint32_t t0 = p[1] ^ f0(p[0], rk_[2 * r], tr);
+    const std::uint32_t t1 = p[3] ^ f1(p[2], rk_[2 * r + 1], tr);
+    tr.emit(OpClass::kXor, t0, 32);
+    tr.emit(OpClass::kXor, t1, 32);
+    if (r + 1 < kRounds) {
+      // Branch rotation (skipped after the final round).
+      const std::uint32_t n0 = t0, n1 = p[2], n2 = t1, n3 = p[0];
+      p[0] = n0;
+      p[1] = n1;
+      p[2] = n2;
+      p[3] = n3;
+    } else {
+      p[1] = t0;
+      p[3] = t1;
+    }
+  }
+
+  // Final whitening on branches 1 and 3.
+  p[1] ^= wk_[2];
+  p[3] ^= wk_[3];
+
+  Block16 out{};
+  for (int i = 0; i < 4; ++i) {
+    store_be32(out.data() + 4 * i, p[i]);
+    tr.emit(OpClass::kStore, p[i], 32);
+  }
+  return out;
+}
+
+Block16 Clefia128::decrypt(const Block16& ciphertext) const {
+  detail::require(has_key_, "Clefia128::decrypt: set_key not called");
+  std::uint32_t p[4];
+  for (int i = 0; i < 4; ++i) p[i] = load_be32(ciphertext.data() + 4 * i);
+
+  p[1] ^= wk_[2];
+  p[3] ^= wk_[3];
+
+  for (std::size_t r = kRounds; r-- > 0;) {
+    if (r + 1 < kRounds) {
+      // Undo branch rotation.
+      const std::uint32_t n0 = p[3], n1 = p[0], n2 = p[1], n3 = p[2];
+      p[0] = n0;
+      p[1] = n1;
+      p[2] = n2;
+      p[3] = n3;
+    }
+    p[1] ^= f0_plain(p[0], rk_[2 * r]);
+    p[3] ^= f1_plain(p[2], rk_[2 * r + 1]);
+  }
+
+  p[1] ^= wk_[0];
+  p[3] ^= wk_[1];
+
+  Block16 out{};
+  for (int i = 0; i < 4; ++i) store_be32(out.data() + 4 * i, p[i]);
+  return out;
+}
+
+}  // namespace scalocate::crypto

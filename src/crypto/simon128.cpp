@@ -1,0 +1,95 @@
+#include "crypto/simon128.hpp"
+
+#include "common/error.hpp"
+
+namespace scalocate::crypto {
+
+namespace {
+
+inline std::uint64_t rotl64(std::uint64_t x, int n) {
+  return (x << n) | (x >> (64 - n));
+}
+inline std::uint64_t rotr64(std::uint64_t x, int n) {
+  return (x >> n) | (x << (64 - n));
+}
+
+// z2 constant sequence (Simon128/128 uses z_2; 62-bit period).
+constexpr char kZ2[] =
+    "10101111011100000011010010011000101000010001111110010110110011";
+
+// Words are stored little-endian in the byte arrays, matching the reference
+// implementation in the Simon & Speck paper appendix: pt[0..7] is the low
+// word y, pt[8..15] the high word x.
+std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void store_le64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+}  // namespace
+
+Simon128::Simon128() = default;
+
+void Simon128::set_key(const Key16& key) {
+  // m = 2 key words; k[0] = low 8 bytes, k[1] = high 8 bytes.
+  round_keys_[0] = load_le64(key.data());
+  round_keys_[1] = load_le64(key.data() + 8);
+  constexpr std::uint64_t c = 0xfffffffffffffffcULL;
+  for (std::size_t i = 2; i < kRounds; ++i) {
+    std::uint64_t tmp = rotr64(round_keys_[i - 1], 3);
+    tmp ^= rotr64(tmp, 1);
+    const std::uint64_t z_bit =
+        static_cast<std::uint64_t>(kZ2[(i - 2) % 62] - '0');
+    round_keys_[i] = c ^ z_bit ^ round_keys_[i - 2] ^ tmp;
+  }
+  has_key_ = true;
+}
+
+Block16 Simon128::encrypt(const Block16& plaintext, EventSink* sink) const {
+  detail::require(has_key_, "Simon128::encrypt: set_key not called");
+  Tracer tr(sink);
+  std::uint64_t y = load_le64(plaintext.data());
+  std::uint64_t x = load_le64(plaintext.data() + 8);
+  tr.emit(OpClass::kLoad, y, 64);
+  tr.emit(OpClass::kLoad, x, 64);
+
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    const std::uint64_t f = (rotl64(x, 1) & rotl64(x, 8)) ^ rotl64(x, 2);
+    tr.emit(OpClass::kShift, rotl64(x, 1), 64);
+    tr.emit(OpClass::kArith, f, 64);
+    const std::uint64_t tmp = x;
+    x = y ^ f ^ round_keys_[i];
+    y = tmp;
+    tr.emit(OpClass::kXor, x, 64);
+  }
+
+  Block16 out{};
+  store_le64(out.data(), y);
+  store_le64(out.data() + 8, x);
+  tr.emit(OpClass::kStore, y, 64);
+  tr.emit(OpClass::kStore, x, 64);
+  return out;
+}
+
+Block16 Simon128::decrypt(const Block16& ciphertext) const {
+  detail::require(has_key_, "Simon128::decrypt: set_key not called");
+  std::uint64_t y = load_le64(ciphertext.data());
+  std::uint64_t x = load_le64(ciphertext.data() + 8);
+
+  for (std::size_t i = kRounds; i-- > 0;) {
+    const std::uint64_t tmp = y;
+    y = x ^ (rotl64(tmp, 1) & rotl64(tmp, 8)) ^ rotl64(tmp, 2) ^ round_keys_[i];
+    x = tmp;
+  }
+
+  Block16 out{};
+  store_le64(out.data(), y);
+  store_le64(out.data() + 8, x);
+  return out;
+}
+
+}  // namespace scalocate::crypto

@@ -1,0 +1,31 @@
+// Simon-128/128 (NSA lightweight block cipher, Beaulieu et al. 2013).
+//
+// 68 Feistel-like rounds over two 64-bit words using AND/rotate/XOR only.
+// Being table-free, its traced power signature has no S-box bursts -- a
+// deliberately different trace texture from the SPN ciphers that exercises
+// the locator's generality (the paper reports the weakest confusion matrix
+// on Simon, Figure 3e).
+#pragma once
+
+#include "crypto/cipher.hpp"
+
+namespace scalocate::crypto {
+
+class Simon128 final : public BlockCipher {
+ public:
+  Simon128();
+
+  std::string name() const override { return "Simon-128/128"; }
+  void set_key(const Key16& key) override;
+  Block16 encrypt(const Block16& plaintext,
+                  EventSink* sink = nullptr) const override;
+  Block16 decrypt(const Block16& ciphertext) const override;
+
+  static constexpr std::size_t kRounds = 68;
+
+ private:
+  std::array<std::uint64_t, kRounds> round_keys_{};
+  bool has_key_ = false;
+};
+
+}  // namespace scalocate::crypto

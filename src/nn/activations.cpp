@@ -1,0 +1,57 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace scalocate::nn {
+
+Tensor ReLU::forward(const Tensor& input) {
+  Tensor out(input.shape());
+  cached_mask_ = Tensor(input.shape());
+  const float* x = input.data();
+  float* o = out.data();
+  float* m = cached_mask_.data();
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const bool positive = x[i] > 0.0f;
+    o[i] = positive ? x[i] : 0.0f;
+    m[i] = positive ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  detail::require(cached_mask_.numel() > 0, "ReLU::backward before forward");
+  detail::require(grad_output.same_shape(cached_mask_),
+                  "ReLU::backward: grad shape mismatch");
+  Tensor grad_input(grad_output.shape());
+  const float* g = grad_output.data();
+  const float* m = cached_mask_.data();
+  float* gi = grad_input.data();
+  for (std::size_t i = 0; i < grad_output.numel(); ++i) gi[i] = g[i] * m[i];
+  return grad_input;
+}
+
+Tensor softmax(const Tensor& logits) {
+  detail::require(logits.rank() == 2, "softmax: expected [B, C]");
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* row = logits.data() + b * classes;
+    float* orow = out.data() + b * classes;
+    float max_v = row[0];
+    for (std::size_t c = 1; c < classes; ++c)
+      if (row[c] > max_v) max_v = row[c];
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      orow[c] = std::exp(row[c] - max_v);
+      denom += orow[c];
+    }
+    for (std::size_t c = 0; c < classes; ++c)
+      orow[c] = static_cast<float>(orow[c] / denom);
+  }
+  return out;
+}
+
+}  // namespace scalocate::nn

@@ -1,0 +1,138 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace scalocate::nn {
+
+BatchNorm1d::BatchNorm1d(std::size_t channels, double eps, double momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_({channels}, "bn.gamma"),
+      beta_({channels}, "bn.beta"),
+      running_mean_(channels, 0.0f),
+      running_var_(channels, 1.0f) {
+  gamma_.value.fill(1.0f);
+}
+
+Tensor BatchNorm1d::forward(const Tensor& input) {
+  detail::require(input.rank() == 3 && input.dim(1) == channels_,
+                  "BatchNorm1d::forward: expected [B, C, N], got " +
+                      input.shape_string());
+  const std::size_t batch = input.dim(0);
+  const std::size_t n = input.dim(2);
+  const std::size_t count = batch * n;
+
+  Tensor out(input.shape());
+  cached_normalized_ = Tensor(input.shape());
+  cached_inv_std_.assign(channels_, 0.0f);
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double mean = 0.0;
+    double var = 0.0;
+    if (training_) {
+      for (std::size_t b = 0; b < batch; ++b) {
+        const float* row = input.data() + (b * channels_ + c) * n;
+        for (std::size_t i = 0; i < n; ++i) mean += row[i];
+      }
+      mean /= static_cast<double>(count);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const float* row = input.data() + (b * channels_ + c) * n;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d = row[i] - mean;
+          var += d * d;
+        }
+      }
+      var /= static_cast<double>(count);
+      running_mean_[c] = static_cast<float>((1.0 - momentum_) * running_mean_[c] +
+                                            momentum_ * mean);
+      running_var_[c] = static_cast<float>((1.0 - momentum_) * running_var_[c] +
+                                           momentum_ * var);
+    } else {
+      mean = running_mean_[c];
+      var = running_var_[c];
+    }
+
+    const double inv_std = 1.0 / std::sqrt(var + eps_);
+    cached_inv_std_[c] = static_cast<float>(inv_std);
+    const float g = gamma_.value.at(c);
+    const float be = beta_.value.at(c);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* row = input.data() + (b * channels_ + c) * n;
+      float* nrow = cached_normalized_.data() + (b * channels_ + c) * n;
+      float* orow = out.data() + (b * channels_ + c) * n;
+      for (std::size_t i = 0; i < n; ++i) {
+        const float xhat = static_cast<float>((row[i] - mean) * inv_std);
+        nrow[i] = xhat;
+        orow[i] = g * xhat + be;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm1d::backward(const Tensor& grad_output) {
+  const Tensor& xhat = cached_normalized_;
+  detail::require(xhat.numel() > 0, "BatchNorm1d::backward before forward");
+  detail::require(grad_output.same_shape(xhat),
+                  "BatchNorm1d::backward: grad shape mismatch");
+  const std::size_t batch = xhat.dim(0);
+  const std::size_t n = xhat.dim(2);
+  const auto count = static_cast<double>(batch * n);
+
+  Tensor grad_input(xhat.shape());
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    // Accumulate dL/dgamma, dL/dbeta and the two reduction terms of the
+    // batch-norm input gradient.
+    double sum_g = 0.0;        // sum of grad_out
+    double sum_g_xhat = 0.0;   // sum of grad_out * xhat
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* grow = grad_output.data() + (b * channels_ + c) * n;
+      const float* nrow = xhat.data() + (b * channels_ + c) * n;
+      for (std::size_t i = 0; i < n; ++i) {
+        sum_g += grow[i];
+        sum_g_xhat += grow[i] * nrow[i];
+      }
+    }
+    gamma_.grad.at(c) += static_cast<float>(sum_g_xhat);
+    beta_.grad.at(c) += static_cast<float>(sum_g);
+
+    const double g = gamma_.value.at(c);
+    const double inv_std = cached_inv_std_[c];
+    if (training_) {
+      // dL/dx = gamma * inv_std * (g_i - mean(g) - xhat_i * mean(g*xhat))
+      const double mean_g = sum_g / count;
+      const double mean_g_xhat = sum_g_xhat / count;
+      for (std::size_t b = 0; b < batch; ++b) {
+        const float* grow = grad_output.data() + (b * channels_ + c) * n;
+        const float* nrow = xhat.data() + (b * channels_ + c) * n;
+        float* gx = grad_input.data() + (b * channels_ + c) * n;
+        for (std::size_t i = 0; i < n; ++i) {
+          gx[i] = static_cast<float>(
+              g * inv_std * (grow[i] - mean_g - nrow[i] * mean_g_xhat));
+        }
+      }
+    } else {
+      // Eval mode: statistics are constants.
+      for (std::size_t b = 0; b < batch; ++b) {
+        const float* grow = grad_output.data() + (b * channels_ + c) * n;
+        float* gx = grad_input.data() + (b * channels_ + c) * n;
+        for (std::size_t i = 0; i < n; ++i)
+          gx[i] = static_cast<float>(g * inv_std * grow[i]);
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::string BatchNorm1d::name() const {
+  std::ostringstream os;
+  os << "BatchNorm1d(" << channels_ << ")";
+  return os.str();
+}
+
+}  // namespace scalocate::nn

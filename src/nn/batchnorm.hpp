@@ -1,0 +1,48 @@
+// 1-D batch normalization (Ioffe & Szegedy 2015), matching the paper's
+// convolutional blocks (Conv1d -> BatchNorm -> ReLU).
+//
+// Input [B, C, N]: statistics are computed per channel over batch and time
+// in training mode; running estimates are used in eval mode.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace scalocate::nn {
+
+class BatchNorm1d final : public Layer {
+ public:
+  explicit BatchNorm1d(std::size_t channels, double eps = 1e-5,
+                       double momentum = 0.1);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::vector<std::vector<float>*> buffers() override {
+    return {&running_mean_, &running_var_};
+  }
+  std::string name() const override;
+
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+  std::span<const float> running_mean() const { return running_mean_; }
+  std::span<const float> running_var() const { return running_var_; }
+
+  /// Direct access for (de)serialization of the running statistics.
+  std::vector<float>& mutable_running_mean() { return running_mean_; }
+  std::vector<float>& mutable_running_var() { return running_var_; }
+
+ private:
+  std::size_t channels_;
+  double eps_;
+  double momentum_;
+  Param gamma_;
+  Param beta_;
+  std::vector<float> running_mean_;
+  std::vector<float> running_var_;
+
+  // Caches for backward.
+  Tensor cached_normalized_;
+  std::vector<float> cached_inv_std_;
+};
+
+}  // namespace scalocate::nn

@@ -1,0 +1,160 @@
+#include "nn/conv1d.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace scalocate::nn {
+
+Conv1d::Conv1d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel_size, std::size_t stride, int pad)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      stride_(stride),
+      pad_left_(pad >= 0 ? static_cast<std::size_t>(pad) : (kernel_size - 1) / 2),
+      pad_right_(pad >= 0 ? static_cast<std::size_t>(pad)
+                          : kernel_size - 1 - (kernel_size - 1) / 2),
+      weight_({out_channels, in_channels, kernel_size}, "conv.weight"),
+      bias_({out_channels}, "conv.bias") {
+  detail::require(in_channels >= 1 && out_channels >= 1 && kernel_size >= 1 &&
+                      stride >= 1,
+                  "Conv1d: invalid configuration");
+}
+
+std::size_t Conv1d::output_length(std::size_t n) const {
+  // Default padding is asymmetric "same": pad_left = (K-1)/2 on the left and
+  // the remainder of (K-1) on the right, so stride-1 convolutions preserve
+  // length even for even kernels (the paper's K = 64).
+  const std::size_t pad_total = pad_left_ + pad_right_;
+  detail::require(n + pad_total >= kernel_size_, "Conv1d: input too short");
+  return (n + pad_total - kernel_size_) / stride_ + 1;
+}
+
+Tensor Conv1d::forward(const Tensor& input) {
+  detail::require(input.rank() == 3 && input.dim(1) == in_channels_,
+                  "Conv1d::forward: expected [B, Cin, N], got " +
+                      input.shape_string());
+  cached_input_ = input;
+
+  const std::size_t batch = input.dim(0);
+  const std::size_t n = input.dim(2);
+  const std::size_t out_len = output_length(n);
+  const std::size_t pad_left = pad_left_;
+
+  Tensor out({batch, out_channels_, out_len});
+  const float* w = weight_.value.data();
+  const float* bias = bias_.value.data();
+  const float* x = input.data();
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t co = 0; co < out_channels_; ++co) {
+      float* orow = out.data() + (b * out_channels_ + co) * out_len;
+      const float bv = bias[co];
+      for (std::size_t i = 0; i < out_len; ++i) orow[i] = bv;
+      for (std::size_t ci = 0; ci < in_channels_; ++ci) {
+        const float* xrow = x + (b * in_channels_ + ci) * n;
+        const float* wrow = w + (co * in_channels_ + ci) * kernel_size_;
+        for (std::size_t k = 0; k < kernel_size_; ++k) {
+          const float wv = wrow[k];
+          if (wv == 0.0f) continue;
+          // Output positions whose tap k lands inside [0, n).
+          std::size_t lo = 0;
+          if (k < pad_left) lo = (pad_left - k + stride_ - 1) / stride_;
+          if (lo >= out_len) continue;
+          const std::size_t max_idx = n - 1 + pad_left;
+          if (k > max_idx) continue;
+          std::size_t hi = (max_idx - k) / stride_;  // inclusive
+          if (hi >= out_len) hi = out_len - 1;
+          const float* xbase = xrow + (lo * stride_ + k - pad_left);
+          float* obase = orow + lo;
+          const std::size_t count = hi - lo + 1;
+          if (stride_ == 1) {
+            for (std::size_t i = 0; i < count; ++i)
+              obase[i] += wv * xbase[i];
+          } else {
+            for (std::size_t i = 0; i < count; ++i)
+              obase[i] += wv * xbase[i * stride_];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv1d::backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  detail::require(input.numel() > 0, "Conv1d::backward before forward");
+  const std::size_t batch = input.dim(0);
+  const std::size_t n = input.dim(2);
+  const std::size_t out_len = output_length(n);
+  detail::require(grad_output.rank() == 3 &&
+                      grad_output.dim(0) == batch &&
+                      grad_output.dim(1) == out_channels_ &&
+                      grad_output.dim(2) == out_len,
+                  "Conv1d::backward: grad shape mismatch");
+
+  Tensor grad_input({batch, in_channels_, n});
+  const std::size_t pad_left = pad_left_;
+  const float* x = input.data();
+  const float* gout = grad_output.data();
+  const float* w = weight_.value.data();
+  float* gw = weight_.grad.data();
+  float* gb = bias_.grad.data();
+  float* gx = grad_input.data();
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t co = 0; co < out_channels_; ++co) {
+      const float* gorow = gout + (b * out_channels_ + co) * out_len;
+      // Bias gradient.
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < out_len; ++i) acc += gorow[i];
+      gb[co] += acc;
+
+      for (std::size_t ci = 0; ci < in_channels_; ++ci) {
+        const float* xrow = x + (b * in_channels_ + ci) * n;
+        float* gxrow = gx + (b * in_channels_ + ci) * n;
+        const float* wrow = w + (co * in_channels_ + ci) * kernel_size_;
+        float* gwrow = gw + (co * in_channels_ + ci) * kernel_size_;
+        for (std::size_t k = 0; k < kernel_size_; ++k) {
+          std::size_t lo = 0;
+          if (k < pad_left) lo = (pad_left - k + stride_ - 1) / stride_;
+          if (lo >= out_len) continue;
+          const std::size_t max_idx = n - 1 + pad_left;
+          if (k > max_idx) continue;
+          std::size_t hi = (max_idx - k) / stride_;
+          if (hi >= out_len) hi = out_len - 1;
+          const std::size_t count = hi - lo + 1;
+          const float* xbase = xrow + (lo * stride_ + k - pad_left);
+          float* gxbase = gxrow + (lo * stride_ + k - pad_left);
+          const float* gbase = gorow + lo;
+          const float wv = wrow[k];
+          float wacc = 0.0f;
+          if (stride_ == 1) {
+            for (std::size_t i = 0; i < count; ++i) {
+              wacc += gbase[i] * xbase[i];
+              gxbase[i] += wv * gbase[i];
+            }
+          } else {
+            for (std::size_t i = 0; i < count; ++i) {
+              wacc += gbase[i] * xbase[i * stride_];
+              gxbase[i * stride_] += wv * gbase[i];
+            }
+          }
+          gwrow[k] += wacc;
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::string Conv1d::name() const {
+  std::ostringstream os;
+  os << "Conv1d(" << in_channels_ << "->" << out_channels_
+     << ", k=" << kernel_size_ << ", s=" << stride_ << ", p=" << pad_left_ << "/" << pad_right_ << ")";
+  return os.str();
+}
+
+}  // namespace scalocate::nn

@@ -1,0 +1,75 @@
+#include "nn/gradcheck.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace scalocate::nn {
+
+namespace {
+
+double weighted_sum(const Tensor& t, const std::vector<float>& weights) {
+  double acc = 0.0;
+  const float* d = t.data();
+  for (std::size_t i = 0; i < t.numel(); ++i) acc += d[i] * weights[i];
+  return acc;
+}
+
+}  // namespace
+
+GradCheckResult check_layer_gradients(Layer& layer, const Tensor& input,
+                                      double epsilon, double tolerance,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+
+  // Fixed random output weighting defines a scalar loss L = sum(w * y).
+  Tensor probe_out = layer.forward(input);
+  std::vector<float> out_weights(probe_out.numel());
+  for (auto& w : out_weights) w = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  // Analytic gradients.
+  for (Param* p : layer.params()) p->zero_grad();
+  Tensor out = layer.forward(input);
+  Tensor grad_out = Tensor::from_data(out.shape(), out_weights);
+  Tensor grad_in = layer.backward(grad_out);
+
+  GradCheckResult result;
+  const auto update = [&](double analytic, double numeric) {
+    const double abs_err = std::fabs(analytic - numeric);
+    const double denom =
+        std::max(1e-6, std::max(std::fabs(analytic), std::fabs(numeric)));
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+  };
+
+  // Finite differences on the input.
+  Tensor x = input;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float orig = x.at(i);
+    x.at(i) = static_cast<float>(orig + epsilon);
+    const double plus = weighted_sum(layer.forward(x), out_weights);
+    x.at(i) = static_cast<float>(orig - epsilon);
+    const double minus = weighted_sum(layer.forward(x), out_weights);
+    x.at(i) = orig;
+    update(grad_in.at(i), (plus - minus) / (2.0 * epsilon));
+  }
+
+  // Finite differences on every parameter.
+  for (Param* p : layer.params()) {
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      const float orig = p->value.at(i);
+      p->value.at(i) = static_cast<float>(orig + epsilon);
+      const double plus = weighted_sum(layer.forward(input), out_weights);
+      p->value.at(i) = static_cast<float>(orig - epsilon);
+      const double minus = weighted_sum(layer.forward(input), out_weights);
+      p->value.at(i) = orig;
+      update(p->grad.at(i), (plus - minus) / (2.0 * epsilon));
+    }
+  }
+
+  result.passed = std::max(result.max_abs_error, result.max_rel_error) <
+                  tolerance;
+  return result;
+}
+
+}  // namespace scalocate::nn

@@ -1,0 +1,25 @@
+// Finite-difference gradient checking used by the NN unit tests.
+#pragma once
+
+#include <functional>
+
+#include "nn/layer.hpp"
+
+namespace scalocate::nn {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  bool passed = false;
+};
+
+/// Checks dLoss/dInput of `layer` against central finite differences, where
+/// Loss = sum(weights * output) for a fixed random weighting. Also checks
+/// every parameter gradient. `epsilon` is the FD step; `tolerance` bounds
+/// max(abs_err, rel_err) per element.
+GradCheckResult check_layer_gradients(Layer& layer, const Tensor& input,
+                                      double epsilon = 1e-3,
+                                      double tolerance = 5e-2,
+                                      std::uint64_t seed = 7);
+
+}  // namespace scalocate::nn

@@ -1,0 +1,58 @@
+// Layer interface of the explicit forward/backward NN framework.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace scalocate::nn {
+
+/// A trainable parameter: value plus accumulated gradient of equal shape.
+struct Param {
+  Tensor value;
+  Tensor grad;
+  std::string name;
+
+  explicit Param(std::vector<std::size_t> shape, std::string param_name = {})
+      : value(shape), grad(std::move(shape)), name(std::move(param_name)) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Base class of all layers/modules. A layer caches whatever it needs from
+/// forward so that the next backward call can compute input gradients;
+/// callers must pair forward/backward on the same batch.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes outputs for a batch.
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients and returns
+  /// dLoss/dInput.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Non-trainable state that must survive serialization (batch-norm
+  /// running statistics). Containers aggregate their children's buffers.
+  virtual std::vector<std::vector<float>*> buffers() { return {}; }
+
+  /// Switches train/eval behaviour (batch-norm statistics).
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  /// Short identifier, e.g. "Conv1d(16->32, k=64)".
+  virtual std::string name() const = 0;
+
+ protected:
+  bool training_ = true;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace scalocate::nn

@@ -1,0 +1,77 @@
+#include "nn/linear.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace scalocate::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_({out_features, in_features}, "linear.weight"),
+      bias_({out_features}, "linear.bias") {
+  detail::require(in_features >= 1 && out_features >= 1,
+                  "Linear: invalid configuration");
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  detail::require(input.rank() == 2 && input.dim(1) == in_features_,
+                  "Linear::forward: expected [B, " +
+                      std::to_string(in_features_) + "], got " +
+                      input.shape_string());
+  cached_input_ = input;
+  const std::size_t batch = input.dim(0);
+  Tensor out({batch, out_features_});
+  const float* w = weight_.value.data();
+  const float* bias = bias_.value.data();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* xrow = input.data() + b * in_features_;
+    float* orow = out.data() + b * out_features_;
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      const float* wrow = w + o * in_features_;
+      float acc = bias[o];
+      for (std::size_t i = 0; i < in_features_; ++i) acc += wrow[i] * xrow[i];
+      orow[o] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  detail::require(input.numel() > 0, "Linear::backward before forward");
+  const std::size_t batch = input.dim(0);
+  detail::require(grad_output.rank() == 2 && grad_output.dim(0) == batch &&
+                      grad_output.dim(1) == out_features_,
+                  "Linear::backward: grad shape mismatch");
+
+  Tensor grad_input({batch, in_features_});
+  const float* w = weight_.value.data();
+  float* gw = weight_.grad.data();
+  float* gb = bias_.grad.data();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* xrow = input.data() + b * in_features_;
+    const float* grow = grad_output.data() + b * out_features_;
+    float* gxrow = grad_input.data() + b * in_features_;
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      const float g = grow[o];
+      gb[o] += g;
+      const float* wrow = w + o * in_features_;
+      float* gwrow = gw + o * in_features_;
+      for (std::size_t i = 0; i < in_features_; ++i) {
+        gwrow[i] += g * xrow[i];
+        gxrow[i] += g * wrow[i];
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::string Linear::name() const {
+  std::ostringstream os;
+  os << "Linear(" << in_features_ << "->" << out_features_ << ")";
+  return os.str();
+}
+
+}  // namespace scalocate::nn

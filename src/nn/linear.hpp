@@ -1,0 +1,29 @@
+// Fully connected layer: input [B, F_in] -> output [B, F_out].
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace scalocate::nn {
+
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string name() const override;
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+
+ private:
+  std::size_t in_features_, out_features_;
+  Param weight_;  // [F_out, F_in]
+  Param bias_;    // [F_out]
+  Tensor cached_input_;
+};
+
+}  // namespace scalocate::nn

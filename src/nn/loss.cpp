@@ -1,0 +1,47 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/activations.hpp"
+
+namespace scalocate::nn {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<std::uint8_t>& labels) {
+  detail::require(logits.rank() == 2, "SoftmaxCrossEntropy: expected [B, C]");
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  detail::require(labels.size() == batch,
+                  "SoftmaxCrossEntropy: labels size mismatch");
+  for (std::uint8_t label : labels)
+    detail::require(label < classes, "SoftmaxCrossEntropy: label out of range");
+
+  cached_probs_ = softmax(logits);
+  cached_labels_ = labels;
+
+  double loss = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float p = cached_probs_.at(b, labels[b]);
+    loss -= std::log(static_cast<double>(p) + 1e-12);
+  }
+  return static_cast<float>(loss / static_cast<double>(batch));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  detail::require(cached_probs_.numel() > 0,
+                  "SoftmaxCrossEntropy::backward before forward");
+  const std::size_t batch = cached_probs_.dim(0);
+  const std::size_t classes = cached_probs_.dim(1);
+  Tensor grad(cached_probs_.shape());
+  const float inv_b = 1.0f / static_cast<float>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < classes; ++c) {
+      const float onehot = cached_labels_[b] == c ? 1.0f : 0.0f;
+      grad.at(b, c) = (cached_probs_.at(b, c) - onehot) * inv_b;
+    }
+  }
+  return grad;
+}
+
+}  // namespace scalocate::nn

@@ -1,0 +1,28 @@
+// Fused softmax + cross-entropy loss (Equation 1 of the paper).
+//
+// forward computes L = -(1/B) * sum_b log softmax(logits_b)[label_b];
+// backward returns dL/dlogits = (softmax - onehot)/B, the numerically
+// stable fused gradient.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace scalocate::nn {
+
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: [B, C]; labels: B class indices in [0, C).
+  float forward(const Tensor& logits, const std::vector<std::uint8_t>& labels);
+
+  /// Gradient w.r.t. the logits of the last forward call.
+  Tensor backward() const;
+
+ private:
+  Tensor cached_probs_;
+  std::vector<std::uint8_t> cached_labels_;
+};
+
+}  // namespace scalocate::nn

@@ -1,0 +1,66 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace scalocate::nn {
+
+void Optimizer::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+Sgd::Sgd(std::vector<Param*> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    velocity_[i].assign(params_[i]->value.numel(), 0.0f);
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    float* value = p.value.data();
+    const float* grad = p.grad.data();
+    float* vel = velocity_[i].data();
+    for (std::size_t j = 0; j < p.value.numel(); ++j) {
+      vel[j] = momentum_ * vel[j] - lr_ * grad[j];
+      value[j] += vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i]->value.numel(), 0.0f);
+    v_[i].assign(params_[i]->value.numel(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    float* value = p.value.data();
+    const float* grad = p.grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (std::size_t j = 0; j < p.value.numel(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad[j] * grad[j];
+      const double mhat = m[j] / bias1;
+      const double vhat = v[j] / bias2;
+      value[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace scalocate::nn

@@ -1,0 +1,52 @@
+#include "nn/pooling.hpp"
+
+#include "common/error.hpp"
+
+namespace scalocate::nn {
+
+Tensor GlobalAvgPool1d::forward(const Tensor& input) {
+  detail::require(input.rank() == 3,
+                  "GlobalAvgPool1d::forward: expected [B, C, N], got " +
+                      input.shape_string());
+  cached_input_shape_ = input.shape();
+  const std::size_t batch = input.dim(0);
+  const std::size_t channels = input.dim(1);
+  const std::size_t n = input.dim(2);
+  detail::require(n >= 1, "GlobalAvgPool1d::forward: empty temporal axis");
+
+  Tensor out({batch, channels});
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const float* row = input.data() + (b * channels + c) * n;
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < n; ++i) acc += row[i];
+      out.at(b, c) = acc * inv_n;
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool1d::backward(const Tensor& grad_output) {
+  detail::require(!cached_input_shape_.empty(),
+                  "GlobalAvgPool1d::backward before forward");
+  const std::size_t batch = cached_input_shape_[0];
+  const std::size_t channels = cached_input_shape_[1];
+  const std::size_t n = cached_input_shape_[2];
+  detail::require(grad_output.rank() == 2 && grad_output.dim(0) == batch &&
+                      grad_output.dim(1) == channels,
+                  "GlobalAvgPool1d::backward: grad shape mismatch");
+
+  Tensor grad_input(cached_input_shape_);
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const float g = grad_output.at(b, c) * inv_n;
+      float* row = grad_input.data() + (b * channels + c) * n;
+      for (std::size_t i = 0; i < n; ++i) row[i] = g;
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace scalocate::nn

@@ -1,0 +1,22 @@
+// Global average pooling over the temporal axis: [B, C, N] -> [B, C].
+//
+// This is the layer that makes the paper's CNN usable with different window
+// sizes at training (Ntrain) and inference (Ninf): the feature map is
+// averaged over whatever temporal length reaches it (Section III-B).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace scalocate::nn {
+
+class GlobalAvgPool1d final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "GlobalAvgPool1d"; }
+
+ private:
+  std::vector<std::size_t> cached_input_shape_;
+};
+
+}  // namespace scalocate::nn

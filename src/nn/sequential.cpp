@@ -1,0 +1,111 @@
+#include "nn/sequential.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace scalocate::nn {
+
+Sequential& Sequential::add(LayerPtr layer) {
+  detail::require(layer != nullptr, "Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_)
+    for (Param* p : layer->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<std::vector<float>*> Sequential::buffers() {
+  std::vector<std::vector<float>*> out;
+  for (auto& layer : layers_)
+    for (auto* b : layer->buffers()) out.push_back(b);
+  return out;
+}
+
+void Sequential::set_training(bool training) {
+  training_ = training;
+  for (auto& layer : layers_) layer->set_training(training);
+}
+
+std::string Sequential::summary() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    os << "  (" << i << ") " << layers_[i]->name() << "\n";
+  return os.str();
+}
+
+Residual::Residual(LayerPtr main, LayerPtr projection)
+    : main_(std::move(main)), projection_(std::move(projection)) {
+  detail::require(main_ != nullptr, "Residual: null main branch");
+}
+
+Tensor Residual::forward(const Tensor& input) {
+  Tensor main_out = main_->forward(input);
+  Tensor shortcut =
+      projection_ != nullptr ? projection_->forward(input) : input;
+  detail::require(main_out.same_shape(shortcut),
+                  "Residual::forward: branch shapes differ: " +
+                      main_out.shape_string() + " vs " +
+                      shortcut.shape_string());
+  float* m = main_out.data();
+  const float* s = shortcut.data();
+  for (std::size_t i = 0; i < main_out.numel(); ++i) m[i] += s[i];
+  return main_out;
+}
+
+Tensor Residual::backward(const Tensor& grad_output) {
+  Tensor grad_main = main_->backward(grad_output);
+  if (projection_ != nullptr) {
+    Tensor grad_proj = projection_->backward(grad_output);
+    float* g = grad_main.data();
+    const float* p = grad_proj.data();
+    for (std::size_t i = 0; i < grad_main.numel(); ++i) g[i] += p[i];
+    return grad_main;
+  }
+  // Identity shortcut: add grad_output directly.
+  detail::require(grad_main.same_shape(grad_output),
+                  "Residual::backward: shape mismatch");
+  float* g = grad_main.data();
+  const float* go = grad_output.data();
+  for (std::size_t i = 0; i < grad_main.numel(); ++i) g[i] += go[i];
+  return grad_main;
+}
+
+std::vector<Param*> Residual::params() {
+  std::vector<Param*> out = main_->params();
+  if (projection_ != nullptr)
+    for (Param* p : projection_->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<std::vector<float>*> Residual::buffers() {
+  std::vector<std::vector<float>*> out = main_->buffers();
+  if (projection_ != nullptr)
+    for (auto* b : projection_->buffers()) out.push_back(b);
+  return out;
+}
+
+void Residual::set_training(bool training) {
+  training_ = training;
+  main_->set_training(training);
+  if (projection_ != nullptr) projection_->set_training(training);
+}
+
+}  // namespace scalocate::nn

@@ -1,0 +1,79 @@
+#include "nn/serialize.hpp"
+
+#include "common/error.hpp"
+#include "common/io.hpp"
+
+namespace scalocate::nn {
+
+namespace {
+constexpr std::uint64_t kModelMagic = 0x5343414c4d444c31ULL;  // "SCALMDL1"
+}
+
+void save_module(Layer& module, const std::string& path) {
+  auto os = io::open_for_write(path, kModelMagic);
+  const auto params = module.params();
+  io::write_scalar<std::uint64_t>(os, params.size());
+  for (Param* p : params) {
+    io::write_string(os, p->name);
+    std::vector<float> values(p->value.flat().begin(), p->value.flat().end());
+    io::write_vector(os, values);
+  }
+  const auto buffers = module.buffers();
+  io::write_scalar<std::uint64_t>(os, buffers.size());
+  for (const auto* b : buffers) io::write_vector(os, *b);
+}
+
+void load_module(Layer& module, const std::string& path) {
+  auto is = io::open_for_read(path, kModelMagic);
+  const auto params = module.params();
+  const auto n_params = io::read_scalar<std::uint64_t>(is);
+  detail::require(n_params == params.size(),
+                  "load_module: parameter count mismatch for " + path);
+  for (Param* p : params) {
+    const std::string name = io::read_string(is);
+    const auto values = io::read_vector<float>(is);
+    detail::require(values.size() == p->value.numel(),
+                    "load_module: size mismatch for parameter " + name);
+    std::copy(values.begin(), values.end(), p->value.data());
+  }
+  const auto n_buffers = io::read_scalar<std::uint64_t>(is);
+  const auto buffers = module.buffers();
+  detail::require(n_buffers == buffers.size(),
+                  "load_module: buffer count mismatch for " + path);
+  for (auto* b : buffers) {
+    const auto values = io::read_vector<float>(is);
+    detail::require(values.size() == b->size(),
+                    "load_module: buffer size mismatch");
+    *b = values;
+  }
+}
+
+ModuleState snapshot_module(Layer& module) {
+  ModuleState state;
+  for (Param* p : module.params())
+    state.params.emplace_back(p->value.flat().begin(), p->value.flat().end());
+  for (const auto* b : module.buffers()) state.buffers.push_back(*b);
+  return state;
+}
+
+void restore_module(Layer& module, const ModuleState& state) {
+  const auto params = module.params();
+  detail::require(params.size() == state.params.size(),
+                  "restore_module: parameter count mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    detail::require(state.params[i].size() == params[i]->value.numel(),
+                    "restore_module: parameter size mismatch");
+    std::copy(state.params[i].begin(), state.params[i].end(),
+              params[i]->value.data());
+  }
+  const auto buffers = module.buffers();
+  detail::require(buffers.size() == state.buffers.size(),
+                  "restore_module: buffer count mismatch");
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    detail::require(state.buffers[i].size() == buffers[i]->size(),
+                    "restore_module: buffer size mismatch");
+    *buffers[i] = state.buffers[i];
+  }
+}
+
+}  // namespace scalocate::nn

@@ -1,0 +1,25 @@
+// Model checkpointing: parameter values + batch-norm buffers are written
+// in enumeration order, so load requires a module constructed with the
+// same architecture (shapes are validated element-count-wise).
+#pragma once
+
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace scalocate::nn {
+
+void save_module(Layer& module, const std::string& path);
+void load_module(Layer& module, const std::string& path);
+
+/// In-memory snapshot of a module's learnable state (used by the trainer's
+/// keep-the-best-validation-model logic, Section IV-B).
+struct ModuleState {
+  std::vector<std::vector<float>> params;
+  std::vector<std::vector<float>> buffers;
+};
+
+ModuleState snapshot_module(Layer& module);
+void restore_module(Layer& module, const ModuleState& state);
+
+}  // namespace scalocate::nn

@@ -1,0 +1,129 @@
+#include "sca/cpa.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace scalocate::sca {
+
+CpaAttack::CpaAttack(CpaConfig config) : config_(config) {
+  detail::require(config_.segment_length >= 1,
+                  "CpaAttack: segment_length must be set");
+  detail::require(config_.aggregate_bin >= 1,
+                  "CpaAttack: aggregate_bin must be >= 1");
+  n_bins_ = config_.segment_length / config_.aggregate_bin;
+  detail::require(n_bins_ >= 1, "CpaAttack: segment shorter than one bin");
+  sum_h_.assign(16 * 256, 0.0);
+  sum_h2_.assign(16 * 256, 0.0);
+  sum_x_.assign(n_bins_, 0.0);
+  sum_x2_.assign(n_bins_, 0.0);
+  sum_hx_.assign(16 * 256 * n_bins_, 0.0);
+  binned_.assign(n_bins_, 0.0f);
+}
+
+void CpaAttack::add_trace(std::span<const float> segment,
+                          const crypto::Block16& plaintext) {
+  detail::require(segment.size() >= config_.segment_length,
+                  "CpaAttack::add_trace: segment too short");
+  // Aggregate over time: bin sums.
+  for (std::size_t j = 0; j < n_bins_; ++j) {
+    double acc = 0.0;
+    const std::size_t off = j * config_.aggregate_bin;
+    for (std::size_t i = 0; i < config_.aggregate_bin; ++i)
+      acc += segment[off + i];
+    binned_[j] = static_cast<float>(acc);
+  }
+  for (std::size_t j = 0; j < n_bins_; ++j) {
+    sum_x_[j] += binned_[j];
+    sum_x2_[j] += static_cast<double>(binned_[j]) * binned_[j];
+  }
+
+  for (std::size_t b = 0; b < 16; ++b) {
+    for (std::size_t guess = 0; guess < 256; ++guess) {
+      const double h = aes_subbyte_hypothesis(
+          config_.model, plaintext, b, static_cast<std::uint8_t>(guess));
+      const std::size_t hidx = b * 256 + guess;
+      sum_h_[hidx] += h;
+      sum_h2_[hidx] += h * h;
+      double* hx = &sum_hx_[hidx * n_bins_];
+      for (std::size_t j = 0; j < n_bins_; ++j) hx[j] += h * binned_[j];
+    }
+  }
+  ++n_traces_;
+}
+
+double CpaAttack::correlation(std::size_t byte_index, std::uint8_t guess,
+                              std::size_t bin) const {
+  if (n_traces_ < 2) return 0.0;
+  const auto n = static_cast<double>(n_traces_);
+  const std::size_t hidx = byte_index * 256 + guess;
+  const double cov = sum_hx_[hidx * n_bins_ + bin] -
+                     sum_h_[hidx] * sum_x_[bin] / n;
+  const double var_h = sum_h2_[hidx] - sum_h_[hidx] * sum_h_[hidx] / n;
+  const double var_x = sum_x2_[bin] - sum_x_[bin] * sum_x_[bin] / n;
+  const double denom = var_h * var_x;
+  if (denom <= 0.0) return 0.0;
+  return cov / std::sqrt(denom);
+}
+
+double CpaAttack::best_correlation(std::size_t byte_index,
+                                   std::uint8_t guess) const {
+  detail::require(byte_index < 16, "CpaAttack: byte_index out of range");
+  double best = 0.0;
+  for (std::size_t j = 0; j < n_bins_; ++j) {
+    const double r = std::fabs(correlation(byte_index, guess, j));
+    if (r > best) best = r;
+  }
+  return best;
+}
+
+ByteRank CpaAttack::rank_byte(std::size_t byte_index,
+                              std::uint8_t true_key_byte) const {
+  ByteRank out;
+  double best = -1.0;
+  double true_corr = 0.0;
+  std::array<double, 256> scores{};
+  for (std::size_t guess = 0; guess < 256; ++guess) {
+    scores[guess] =
+        best_correlation(byte_index, static_cast<std::uint8_t>(guess));
+    if (scores[guess] > best) {
+      best = scores[guess];
+      out.best_guess = static_cast<std::uint8_t>(guess);
+    }
+  }
+  true_corr = scores[true_key_byte];
+  std::size_t rank = 0;
+  for (std::size_t guess = 0; guess < 256; ++guess)
+    if (guess != true_key_byte && scores[guess] > true_corr) ++rank;
+  out.best_correlation = best;
+  out.true_key_rank = rank;
+  out.true_key_correlation = true_corr;
+  return out;
+}
+
+CpaAttack::KeyRank CpaAttack::rank_key(const crypto::Key16& true_key) const {
+  KeyRank out;
+  for (std::size_t b = 0; b < 16; ++b) {
+    out.bytes[b] = rank_byte(b, true_key[b]);
+    if (out.bytes[b].true_key_rank == 0) ++out.rank1_bytes;
+  }
+  return out;
+}
+
+crypto::Key16 CpaAttack::recovered_key() const {
+  crypto::Key16 key{};
+  for (std::size_t b = 0; b < 16; ++b) {
+    double best = -1.0;
+    for (std::size_t guess = 0; guess < 256; ++guess) {
+      const double r =
+          best_correlation(b, static_cast<std::uint8_t>(guess));
+      if (r > best) {
+        best = r;
+        key[b] = static_cast<std::uint8_t>(guess);
+      }
+    }
+  }
+  return key;
+}
+
+}  // namespace scalocate::sca

@@ -1,0 +1,38 @@
+#include "sca/leakage.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+#include "crypto/aes128.hpp"
+
+namespace scalocate::sca {
+
+double apply_model(LeakageModel model, std::uint8_t value) {
+  switch (model) {
+    case LeakageModel::kHammingWeight:
+      return static_cast<double>(std::popcount(value));
+    case LeakageModel::kIdentity:
+      return static_cast<double>(value);
+    case LeakageModel::kBit0:
+      return static_cast<double>(value & 1u);
+  }
+  throw InvalidArgument("apply_model: unknown leakage model");
+}
+
+std::uint8_t aes_subbyte_intermediate(const crypto::Block16& plaintext,
+                                      std::size_t byte_index,
+                                      std::uint8_t key_guess) {
+  detail::require(byte_index < 16,
+                  "aes_subbyte_intermediate: byte_index out of range");
+  return crypto::Aes128::sbox(
+      static_cast<std::uint8_t>(plaintext[byte_index] ^ key_guess));
+}
+
+double aes_subbyte_hypothesis(LeakageModel model,
+                              const crypto::Block16& plaintext,
+                              std::size_t byte_index, std::uint8_t key_guess) {
+  return apply_model(model,
+                     aes_subbyte_intermediate(plaintext, byte_index, key_guess));
+}
+
+}  // namespace scalocate::sca

@@ -1,0 +1,35 @@
+// Leakage models for correlation power analysis.
+//
+// The paper's attack (Section IV-C) targets the AES sub-byte intermediate:
+// the hypothesis for key byte b under guess k on plaintext pt is
+// HW(SBOX[pt[b] ^ k]), which the simulator's power model leaks at the
+// first-round kSbox events.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/cipher.hpp"
+
+namespace scalocate::sca {
+
+/// Supported power models.
+enum class LeakageModel {
+  kHammingWeight,   ///< HW(v)
+  kIdentity,        ///< v itself
+  kBit0,            ///< LSB of v (single-bit DPA-style model)
+};
+
+/// Applies a leakage model to an 8-bit intermediate.
+double apply_model(LeakageModel model, std::uint8_t value);
+
+/// AES sub-byte hypothesis: intermediate SBOX[pt[byte] ^ guess].
+std::uint8_t aes_subbyte_intermediate(const crypto::Block16& plaintext,
+                                      std::size_t byte_index,
+                                      std::uint8_t key_guess);
+
+/// Convenience: model applied to the AES sub-byte intermediate.
+double aes_subbyte_hypothesis(LeakageModel model,
+                              const crypto::Block16& plaintext,
+                              std::size_t byte_index, std::uint8_t key_guess);
+
+}  // namespace scalocate::sca

@@ -1,0 +1,107 @@
+#include "sca/matched_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/signal.hpp"
+#include "common/stats.hpp"
+
+namespace scalocate::sca {
+
+MatchedFilterLocator::MatchedFilterLocator(MatchedFilterConfig config)
+    : config_(config) {
+  detail::require(config_.template_length >= 16,
+                  "MatchedFilterLocator: template too short");
+}
+
+namespace {
+// Matched filtering operates on the band-limited envelope: a short moving
+// average suppresses the single-sample data-dependent term so the template
+// matches the instruction envelope, not one execution's operand values.
+std::vector<float> smooth(std::span<const float> xs) {
+  return signal::moving_average(xs, 5);
+}
+}  // namespace
+
+void MatchedFilterLocator::fit(const trace::CipherAcquisition& profiling) {
+  detail::require(!profiling.captures.empty(),
+                  "MatchedFilterLocator::fit: no profiling captures");
+  const std::size_t len = config_.template_length;
+
+  // Average the first `len` samples of up to max_templates captures; the
+  // second half of the captures is held out for threshold calibration.
+  const std::size_t usable = profiling.captures.size();
+  const std::size_t for_template =
+      std::min(config_.max_templates, std::max<std::size_t>(1, usable / 2));
+
+  std::vector<double> acc(len, 0.0);
+  std::size_t used = 0;
+  double co_len_acc = 0.0;
+  for (std::size_t i = 0; i < for_template; ++i) {
+    const auto& raw = profiling.captures[i].samples;
+    if (raw.size() < len) continue;
+    const auto s = smooth(raw);
+    for (std::size_t j = 0; j < len; ++j) acc[j] += s[j];
+    co_len_acc += static_cast<double>(raw.size());
+    ++used;
+  }
+  detail::require(used > 0, "MatchedFilterLocator::fit: captures too short");
+  template_.resize(len);
+  for (std::size_t j = 0; j < len; ++j)
+    template_[j] = static_cast<float>(acc[j] / static_cast<double>(used));
+  mean_co_length_ = co_len_acc / static_cast<double>(used);
+
+  // Calibrate: NCC response at the true start of held-out captures vs the
+  // background response inside the CO body.
+  std::vector<float> start_responses;
+  std::vector<float> background_responses;
+  for (std::size_t i = for_template; i < usable; ++i) {
+    if (profiling.captures[i].samples.size() < 2 * len) continue;
+    const auto s = smooth(profiling.captures[i].samples);
+    const auto ncc = signal::normalized_cross_correlate(s, template_);
+    if (ncc.empty()) continue;
+    // True start is sample 0 of a capture; allow a small search slack.
+    const std::size_t slack = std::min<std::size_t>(ncc.size() - 1, len / 8);
+    float best = ncc[0];
+    for (std::size_t j = 1; j <= slack; ++j) best = std::max(best, ncc[j]);
+    start_responses.push_back(best);
+    // Background: responses deeper inside the CO.
+    for (std::size_t j = len; j < ncc.size(); j += len / 2)
+      background_responses.push_back(ncc[j]);
+  }
+
+  if (std::isnan(config_.threshold)) {
+    if (!start_responses.empty() && !background_responses.empty()) {
+      const double start_level = stats::median(start_responses);
+      const double bg_level = stats::percentile(background_responses, 95.0);
+      calibration_response_ = start_level;
+      // Weight toward the start response: the background 95th percentile
+      // sits close to secondary structure (round starts), so the midpoint
+      // admits too many false peaks.
+      threshold_ = static_cast<float>(0.65 * start_level + 0.35 * bg_level);
+      // Never accept peaks weaker than a minimal correlation; prevents the
+      // locator from flooding detections when the template has decayed to
+      // noise (random delay active).
+      threshold_ = std::max(threshold_, 0.25f);
+    } else {
+      threshold_ = 0.5f;
+    }
+  } else {
+    threshold_ = config_.threshold;
+  }
+  fitted_ = true;
+}
+
+std::vector<std::size_t> MatchedFilterLocator::locate(
+    std::span<const float> trace_samples) const {
+  detail::require(fitted_, "MatchedFilterLocator::locate: fit() first");
+  if (trace_samples.size() < template_.size()) return {};
+  const auto smoothed = smooth(trace_samples);
+  const auto ncc = signal::normalized_cross_correlate(smoothed, template_);
+  const auto min_distance = static_cast<std::size_t>(
+      std::max(1.0, config_.min_distance_fraction * mean_co_length_));
+  return signal::find_peaks(ncc, threshold_, min_distance);
+}
+
+}  // namespace scalocate::sca

@@ -1,0 +1,93 @@
+#include "sca/waveform_matching.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/signal.hpp"
+#include "common/stats.hpp"
+
+namespace scalocate::sca {
+
+namespace {
+// Matching runs on the band-limited envelope (cf. matched_filter.cpp).
+std::vector<float> smooth(std::span<const float> xs) {
+  return signal::moving_average(xs, 5);
+}
+}  // namespace
+
+WaveformMatchingLocator::WaveformMatchingLocator(WaveformMatchingConfig config)
+    : config_(config) {
+  detail::require(config_.reference_length >= 16,
+                  "WaveformMatchingLocator: reference too short");
+}
+
+void WaveformMatchingLocator::fit(const trace::CipherAcquisition& profiling) {
+  detail::require(!profiling.captures.empty(),
+                  "WaveformMatchingLocator::fit: no profiling captures");
+  const std::size_t len = config_.reference_length;
+
+  // Collect candidate start waveforms.
+  std::vector<std::vector<float>> candidates;
+  double co_len_acc = 0.0;
+  for (const auto& cap : profiling.captures) {
+    if (candidates.size() >= config_.candidate_pool) break;
+    if (cap.samples.size() < len) continue;
+    auto smoothed = smooth(cap.samples);
+    candidates.emplace_back(smoothed.begin(),
+                            smoothed.begin() + static_cast<std::ptrdiff_t>(len));
+    co_len_acc += static_cast<double>(cap.samples.size());
+  }
+  detail::require(!candidates.empty(),
+                  "WaveformMatchingLocator::fit: captures too short");
+  mean_co_length_ = co_len_acc / static_cast<double>(candidates.size());
+
+  // Medoid selection: the candidate with the highest total correlation to
+  // the others (the "most representative" single execution).
+  double best_total = -1e300;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (i == j) continue;
+      total += stats::pearson(candidates[i], candidates[j]);
+    }
+    if (total > best_total) {
+      best_total = total;
+      medoid_index_ = i;
+    }
+  }
+  reference_ = candidates[medoid_index_];
+  fitted_ = true;
+}
+
+std::vector<std::size_t> WaveformMatchingLocator::locate(
+    std::span<const float> trace_samples) const {
+  detail::require(fitted_, "WaveformMatchingLocator::locate: fit() first");
+  if (trace_samples.size() < reference_.size()) return {};
+
+  // z-normalized distance d = sqrt(2*(1 - NCC)) in [0, 2]; valleys of d are
+  // peaks of NCC, so compute NCC once and convert.
+  const auto smoothed = smooth(trace_samples);
+  const auto ncc = signal::normalized_cross_correlate(smoothed, reference_);
+  std::vector<float> dist(ncc.size());
+  for (std::size_t i = 0; i < ncc.size(); ++i) {
+    const double c = std::clamp<double>(ncc[i], -1.0, 1.0);
+    dist[i] = static_cast<float>(std::sqrt(2.0 * (1.0 - c)));
+  }
+
+  // Adaptive acceptance: valley must be below the accept-percentile of the
+  // distance distribution AND below the absolute cap.
+  const double adaptive =
+      stats::percentile(dist, config_.accept_percentile);
+  const float cutoff = static_cast<float>(
+      std::min(adaptive, config_.max_accept_distance));
+
+  // Valley picking = peak picking on the negated distance.
+  std::vector<float> neg(dist.size());
+  for (std::size_t i = 0; i < dist.size(); ++i) neg[i] = -dist[i];
+  const auto min_distance = static_cast<std::size_t>(
+      std::max(1.0, config_.min_distance_fraction * mean_co_length_));
+  return signal::find_peaks(neg, -cutoff, min_distance);
+}
+
+}  // namespace scalocate::sca

@@ -1,0 +1,53 @@
+// Waveform-matching CO locator -- reimplementation of baseline [11]
+// (Trautmann et al., "Semi-automatic locating of cryptographic operations
+// in side-channel traces", TCHES 2022).
+//
+// Instead of an averaged matched filter, a single reference waveform of the
+// CO start is selected semi-automatically (here: the profiling capture
+// whose start correlates best with all the others -- a medoid) and matched
+// against the target trace with a z-normalized Euclidean distance. Matches
+// are distance *valleys* below an adaptive threshold derived from the
+// distance distribution. Robust to interrupts that displace the CO, but,
+// like any template method, defeated by random-delay morphing (Table II).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "trace/scenario.hpp"
+
+namespace scalocate::sca {
+
+struct WaveformMatchingConfig {
+  std::size_t reference_length = 128;  ///< samples of the reference waveform
+  std::size_t candidate_pool = 24;     ///< captures considered for the medoid
+  /// Acceptance quantile for the distance valleys: a valley must be below
+  /// this percentile of the overall distance distribution.
+  double accept_percentile = 2.0;
+  /// Absolute cap on the accepted normalized distance (0..2 scale; 2 means
+  /// anti-correlated). Valleys above the cap are never CO starts.
+  double max_accept_distance = 1.0;
+  double min_distance_fraction = 0.8;  ///< of the mean CO length
+};
+
+class WaveformMatchingLocator {
+ public:
+  explicit WaveformMatchingLocator(WaveformMatchingConfig config = {});
+
+  void fit(const trace::CipherAcquisition& profiling);
+
+  std::vector<std::size_t> locate(std::span<const float> trace_samples) const;
+
+  bool is_fitted() const { return fitted_; }
+  std::span<const float> reference_waveform() const { return reference_; }
+  std::size_t medoid_index() const { return medoid_index_; }
+
+ private:
+  WaveformMatchingConfig config_;
+  std::vector<float> reference_;
+  std::size_t medoid_index_ = 0;
+  double mean_co_length_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace scalocate::sca

@@ -1,0 +1,46 @@
+#include "trace/acquisition.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace scalocate::trace {
+
+AcquisitionModel::AcquisitionModel(AcquisitionConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  detail::require(config_.adc_bits >= 1 && config_.adc_bits <= 24,
+                  "AcquisitionModel: adc_bits out of range");
+  detail::require(config_.full_scale_max > config_.full_scale_min,
+                  "AcquisitionModel: invalid full-scale range");
+}
+
+void AcquisitionModel::apply(std::vector<float>& samples) {
+  const double two_pi = 2.0 * std::numbers::pi;
+  const double levels = static_cast<double>((1u << config_.adc_bits) - 1);
+  const double fs_min = config_.full_scale_min;
+  const double fs_span = config_.full_scale_max - fs_min;
+
+  for (auto& s : samples) {
+    double v = s;
+    // Slow baseline wander.
+    if (config_.drift_amplitude != 0.0 && config_.drift_period > 0.0) {
+      const double phase =
+          two_pi * static_cast<double>(sample_index_) / config_.drift_period;
+      v += config_.drift_amplitude * std::sin(phase);
+    }
+    // White measurement noise.
+    if (config_.noise_sigma > 0.0) v += rng_.normal(0.0, config_.noise_sigma);
+    // 12-bit ADC: clamp to full scale and round to the nearest code.
+    if (config_.enable_quantization) {
+      double normalized = (v - fs_min) / fs_span;
+      normalized = normalized < 0.0 ? 0.0 : (normalized > 1.0 ? 1.0 : normalized);
+      const double code = std::round(normalized * levels);
+      v = fs_min + (code / levels) * fs_span;
+    }
+    s = static_cast<float>(v);
+    ++sample_index_;
+  }
+}
+
+}  // namespace scalocate::trace

@@ -1,0 +1,47 @@
+#include "trace/power_model.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace scalocate::trace {
+
+int hamming_weight(std::uint64_t v) { return std::popcount(v); }
+
+PowerModel::PowerModel(PowerModelConfig config) : config_(config) {
+  detail::require(config_.samples_per_op >= 1,
+                  "PowerModel: samples_per_op must be >= 1");
+}
+
+void PowerModel::render(const crypto::DataEvent& event,
+                        std::vector<float>& out) const {
+  const auto op_index = static_cast<std::size_t>(event.op);
+  detail::require(op_index < config_.base.size(),
+                  "PowerModel::render: invalid opcode class");
+  const double base = config_.base[op_index];
+
+  // Centered, width-normalized Hamming weight in [-0.5, 0.5]. NOPs and
+  // branches perform no register write-back, so they have no data term.
+  const bool carries_data = event.op != crypto::OpClass::kNop &&
+                            event.op != crypto::OpClass::kBranch;
+  const double hw_centered =
+      static_cast<double>(hamming_weight(event.value)) /
+          static_cast<double>(event.width) -
+      0.5;
+  const double data_term =
+      carries_data ? config_.data_alpha * hw_centered : 0.0;
+
+  const std::size_t n = config_.samples_per_op;
+  // The data-dependent current appears at write-back: the second-to-last
+  // sample of the instruction (or the only sample when n == 1).
+  const std::size_t wb_sample = n >= 2 ? n - 2 : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double shape =
+        config_.pulse[(i * config_.pulse.size()) / n];  // stretch pulse to n
+    double value = base * shape;
+    if (i == wb_sample) value += data_term;
+    out.push_back(static_cast<float>(value));
+  }
+}
+
+}  // namespace scalocate::trace

@@ -1,0 +1,32 @@
+#include "trace/random_delay.hpp"
+
+namespace scalocate::trace {
+
+const char* random_delay_name(RandomDelayConfig cfg) {
+  switch (cfg) {
+    case RandomDelayConfig::kOff:
+      return "RD-0";
+    case RandomDelayConfig::kRd2:
+      return "RD-2";
+    case RandomDelayConfig::kRd4:
+      return "RD-4";
+  }
+  return "RD-?";
+}
+
+RandomDelayInjector::RandomDelayInjector(RandomDelayConfig config,
+                                         std::uint64_t trng_seed)
+    : config_(config), bound_(random_delay_bound(config)), trng_(trng_seed) {}
+
+crypto::DataEvent RandomDelayInjector::make_dummy() {
+  // Dummy instructions are drawn from the cheap ALU classes a hardware
+  // random-delay unit can issue without touching architectural state.
+  static constexpr crypto::OpClass kDummyOps[3] = {
+      crypto::OpClass::kArith, crypto::OpClass::kXor, crypto::OpClass::kShift};
+  const std::uint32_t selector = trng_.next_word();
+  const crypto::OpClass op = kDummyOps[selector % 3];
+  const std::uint32_t value = trng_.next_word();
+  return crypto::DataEvent{op, value, 32};
+}
+
+}  // namespace scalocate::trace

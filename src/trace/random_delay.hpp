@@ -1,0 +1,62 @@
+// Hardware random-delay countermeasure (RD-k).
+//
+// Mirrors the paper's modified RISC-V CPU: between every pair of
+// consecutive program instructions the TRNG decides how many random dummy
+// instructions (0..k) to insert. Dummies are cheap ALU operations with
+// random operands, so they both desynchronize the trace (variable length)
+// and morph its shape (random opcode baselines + random HW leakage),
+// which is what defeats template/matched-filter locators.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/event.hpp"
+#include "trace/trng.hpp"
+
+namespace scalocate::trace {
+
+/// Paper configurations: RD-2 and RD-4 bound the number of inserted random
+/// instructions between two consecutive program instructions to 2 and 4.
+enum class RandomDelayConfig : std::uint32_t {
+  kOff = 0,
+  kRd2 = 2,
+  kRd4 = 4,
+};
+
+/// Max inserted instructions for a configuration.
+constexpr std::uint32_t random_delay_bound(RandomDelayConfig cfg) {
+  return static_cast<std::uint32_t>(cfg);
+}
+
+/// Short display name, e.g. "RD-4".
+const char* random_delay_name(RandomDelayConfig cfg);
+
+/// Generates the dummy-instruction stream of the countermeasure.
+class RandomDelayInjector {
+ public:
+  RandomDelayInjector(RandomDelayConfig config, std::uint64_t trng_seed);
+
+  /// Invoked before every program instruction; calls `emit(event)` for each
+  /// of the 0..k inserted dummy instructions.
+  template <typename EmitFn>
+  void inject(EmitFn&& emit) {
+    const std::uint32_t count = trng_.next_delay(bound_);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      emit(make_dummy());
+      ++dummies_inserted_;
+    }
+  }
+
+  std::uint64_t dummies_inserted() const { return dummies_inserted_; }
+  RandomDelayConfig config() const { return config_; }
+
+ private:
+  crypto::DataEvent make_dummy();
+
+  RandomDelayConfig config_;
+  std::uint32_t bound_;
+  Trng trng_;
+  std::uint64_t dummies_inserted_ = 0;
+};
+
+}  // namespace scalocate::trace

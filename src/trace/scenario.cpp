@@ -1,0 +1,143 @@
+#include "trace/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/signal.hpp"
+#include "common/stats.hpp"
+
+namespace scalocate::trace {
+
+std::size_t detect_nop_boundary(std::span<const float> samples,
+                                std::size_t samples_per_op) {
+  detail::require(samples_per_op >= 1,
+                  "detect_nop_boundary: samples_per_op must be >= 1");
+  detail::require(samples.size() >= 16 * samples_per_op,
+                  "detect_nop_boundary: trace too short");
+
+  // Smooth over ~8 instructions to average out random-delay dummy blips.
+  const std::size_t ma_window = 8 * samples_per_op + 1;
+  const auto smooth = signal::moving_average(samples, ma_window);
+
+  // Sled level: the capture is known to start inside the NOP sled.
+  const std::size_t head = 8 * samples_per_op;
+  const double sled_level =
+      stats::mean(std::span<const float>(smooth.data(), head));
+  const double high_level = stats::percentile(smooth, 90.0);
+  const float threshold = static_cast<float>(0.5 * (sled_level + high_level));
+
+  // First position where the smoothed power stays above threshold for four
+  // full instructions (rejects dummy bursts inside the sled).
+  const std::size_t hold = 4 * samples_per_op;
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < smooth.size(); ++i) {
+    if (smooth[i] > threshold) {
+      ++run;
+      if (run >= hold) return i + 1 - run;
+    } else {
+      run = 0;
+    }
+  }
+  return 0;  // no boundary found: caller treats the whole capture as CO
+}
+
+CipherAcquisition acquire_cipher_traces(const ScenarioConfig& config,
+                                        std::size_t n_traces,
+                                        const crypto::Key16& key) {
+  SocConfig soc;
+  soc.random_delay = config.random_delay;
+  soc.seed = config.seed;
+  SocSimulator sim(soc);
+
+  auto cipher = crypto::make_cipher(config.cipher, config.seed ^ 0x6d61736bULL);
+  cipher->set_key(key);
+
+  Rng pt_rng(config.seed ^ 0x7074ULL);
+
+  CipherAcquisition acq;
+  acq.key = key;
+  acq.captures.reserve(n_traces);
+
+  for (std::size_t i = 0; i < n_traces; ++i) {
+    Trace t;
+    sim.run_nop_sled(config.nop_sled_len, t);
+    crypto::Block16 pt{};
+    pt_rng.fill_bytes(pt.data(), pt.size());
+    sim.run_cipher(*cipher, pt, t);
+
+    const std::size_t true_start = t.cos.front().start_sample;
+    std::size_t cut = true_start;
+    if (config.cut_at_detected_boundary) {
+      cut = detect_nop_boundary(t.samples, soc.power.samples_per_op);
+      if (cut == 0 || cut >= t.samples.size()) cut = true_start;
+    }
+
+    CipherCapture cap;
+    cap.samples.assign(t.samples.begin() + static_cast<std::ptrdiff_t>(cut),
+                       t.samples.end());
+    cap.plaintext = pt;
+    cap.ciphertext = t.cos.front().ciphertext;
+    cap.true_start_error =
+        cut > true_start ? cut - true_start : true_start - cut;
+    acq.captures.push_back(std::move(cap));
+  }
+  return acq;
+}
+
+Trace acquire_noise_trace(const ScenarioConfig& config,
+                          std::size_t approx_instructions) {
+  SocConfig soc;
+  soc.random_delay = config.random_delay;
+  soc.seed = config.seed ^ 0x6e74ULL;
+  SocSimulator sim(soc);
+
+  Rng len_rng(config.seed ^ 0x6c656eULL);
+  Trace t;
+  std::size_t emitted = 0;
+  while (emitted < approx_instructions) {
+    const auto app_len = static_cast<std::size_t>(len_rng.uniform_int(
+        static_cast<std::int64_t>(config.noise_app_min_instr),
+        static_cast<std::int64_t>(config.noise_app_max_instr)));
+    sim.run_noise_app(app_len, t);
+    emitted += app_len;
+  }
+  return t;
+}
+
+Trace acquire_eval_trace(const ScenarioConfig& config, std::size_t n_cos,
+                         const crypto::Key16& key, bool interleave_noise) {
+  SocConfig soc;
+  soc.random_delay = config.random_delay;
+  soc.seed = config.seed ^ 0x6576616cULL;
+  SocSimulator sim(soc);
+
+  auto cipher =
+      crypto::make_cipher(config.cipher, config.seed ^ 0x6d32ULL);
+  cipher->set_key(key);
+
+  Rng rng(config.seed ^ 0x65767074ULL);
+
+  Trace t;
+  // The capture never starts exactly at a CO: lead in with noise.
+  sim.run_noise_app(config.noise_app_min_instr, t);
+
+  for (std::size_t i = 0; i < n_cos; ++i) {
+    crypto::Block16 pt{};
+    rng.fill_bytes(pt.data(), pt.size());
+    sim.run_cipher(*cipher, pt, t);
+    if (interleave_noise) {
+      const auto app_len = static_cast<std::size_t>(rng.uniform_int(
+          static_cast<std::int64_t>(config.noise_app_min_instr),
+          static_cast<std::int64_t>(config.noise_app_max_instr)));
+      sim.run_noise_app(app_len, t);
+    } else {
+      // Back-to-back COs: only a handful of dispatcher instructions apart.
+      sim.run_noise_app(static_cast<std::size_t>(rng.uniform_int(4, 12)), t);
+    }
+  }
+  return t;
+}
+
+}  // namespace scalocate::trace

@@ -1,0 +1,75 @@
+// Acquisition scenario builders (Section III-A and IV-B of the paper).
+//
+// Three capture campaigns are modeled:
+//   1. Cipher acquisition  -- the attacker runs single COs on the clone
+//      device behind NOP sleds and stores one trace per CO (training c1/c0
+//      windows). The CO start inside each stored trace is found with the
+//      NOP-boundary detector, exactly like the paper's NOP trick.
+//   2. Noise acquisition   -- a long capture of noise applications only
+//      (training c0/noise windows).
+//   3. Evaluation capture  -- a long trace containing n_cos CO executions,
+//      either back-to-back ("consecutive") or interleaved with random noise
+//      applications, used by the inference pipeline and the CPA attack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/cipher.hpp"
+#include "trace/soc_simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace scalocate::trace {
+
+/// One stored cipher trace: samples beginning at the (detected) CO start.
+struct CipherCapture {
+  std::vector<float> samples;       ///< trace cut at the CO start
+  crypto::Block16 plaintext{};      ///< chosen input of this CO
+  crypto::Block16 ciphertext{};
+  std::size_t true_start_error = 0; ///< |detected - true| start (validation)
+};
+
+/// Output of the cipher acquisition campaign.
+struct CipherAcquisition {
+  std::vector<CipherCapture> captures;
+  crypto::Key16 key{};  ///< attacker-chosen profiling key
+};
+
+struct ScenarioConfig {
+  crypto::CipherId cipher = crypto::CipherId::kAes128;
+  RandomDelayConfig random_delay = RandomDelayConfig::kRd4;
+  std::uint64_t seed = 1;
+  std::size_t nop_sled_len = 192;        ///< program NOPs before each CO
+  std::size_t noise_app_min_instr = 400; ///< noise application length range
+  std::size_t noise_app_max_instr = 1600;
+  /// When true the stored cipher traces are cut at the NOP-boundary
+  /// detector's estimate (paper-faithful); when false, at the exact ground
+  /// truth (for controlled experiments).
+  bool cut_at_detected_boundary = true;
+};
+
+/// Campaign 1: `n_traces` single-CO captures under a chosen key.
+/// Plaintexts are uniform random (chosen-input profiling).
+CipherAcquisition acquire_cipher_traces(const ScenarioConfig& config,
+                                        std::size_t n_traces,
+                                        const crypto::Key16& key);
+
+/// Campaign 2: noise-only capture of roughly `approx_instructions`.
+Trace acquire_noise_trace(const ScenarioConfig& config,
+                          std::size_t approx_instructions);
+
+/// Campaign 3: evaluation trace with `n_cos` CO executions under `key`.
+/// When `interleave_noise` is set, a random noise application runs between
+/// consecutive COs (the paper's "noise applications" scenario); otherwise
+/// COs execute back-to-back separated only by a few scheduler instructions.
+Trace acquire_eval_trace(const ScenarioConfig& config, std::size_t n_cos,
+                         const crypto::Key16& key, bool interleave_noise);
+
+/// NOP-boundary detector: estimates the first non-sled sample of `samples`
+/// given that a NOP sled (with random-delay dummies mixed in) occupies the
+/// beginning. Returns the sample index where sustained activity starts.
+/// `samples_per_op` must match the simulator configuration.
+std::size_t detect_nop_boundary(std::span<const float> samples,
+                                std::size_t samples_per_op);
+
+}  // namespace scalocate::trace

@@ -1,0 +1,117 @@
+#include "trace/soc_simulator.hpp"
+
+#include "common/error.hpp"
+
+namespace scalocate::trace {
+
+class SocSimulator::RenderSink final : public crypto::EventSink {
+ public:
+  RenderSink(PowerModel& pm, RandomDelayInjector& rd, std::vector<float>& out)
+      : pm_(pm), rd_(rd), out_(out) {}
+
+  void on_event(const crypto::DataEvent& event) override {
+    // The countermeasure fires between every pair of program instructions.
+    rd_.inject([&](const crypto::DataEvent& dummy) { pm_.render(dummy, out_); });
+    if (!saw_program_event_) {
+      saw_program_event_ = true;
+      first_program_sample_ = out_.size();
+    }
+    pm_.render(event, out_);
+  }
+
+  /// Sample index of the first *program* (non-dummy) instruction rendered.
+  std::size_t first_program_sample() const { return first_program_sample_; }
+
+ private:
+  PowerModel& pm_;
+  RandomDelayInjector& rd_;
+  std::vector<float>& out_;
+  bool saw_program_event_ = false;
+  std::size_t first_program_sample_ = 0;
+};
+
+SocSimulator::SocSimulator(SocConfig config)
+    : config_(config),
+      power_model_(config.power),
+      injector_(config.random_delay, config.seed ^ 0x7261646f6dULL),
+      noise_gen_(config.seed ^ 0x6e6f697365ULL),
+      acquisition_(config.acquisition, config.seed ^ 0x616371ULL) {}
+
+void SocSimulator::apply_acquisition_tail(Trace& out, std::size_t from_sample) {
+  // The acquisition chain is stateful (drift phase), so process only the
+  // newly rendered region.
+  std::vector<float> region(out.samples.begin() +
+                                static_cast<std::ptrdiff_t>(from_sample),
+                            out.samples.end());
+  acquisition_.apply(region);
+  std::copy(region.begin(), region.end(),
+            out.samples.begin() + static_cast<std::ptrdiff_t>(from_sample));
+}
+
+void SocSimulator::run_nop_sled(std::size_t n_nops, Trace& out) {
+  const std::size_t from = out.samples.size();
+  RenderSink sink(power_model_, injector_, out.samples);
+  for (std::size_t i = 0; i < n_nops; ++i)
+    sink.on_event(crypto::DataEvent{crypto::OpClass::kNop, 0, 8});
+  apply_acquisition_tail(out, from);
+  out.random_delay_max = random_delay_bound(config_.random_delay);
+}
+
+namespace {
+
+/// Function-call prologue: callee-saved register stores + stack adjust.
+/// Every invoked routine (cipher or noise application) begins with one, so
+/// a store burst alone does not give CO starts away.
+template <typename Sink>
+void emit_prologue(Sink& sink) {
+  sink.on_event(crypto::DataEvent{crypto::OpClass::kArith, 0xffffffa0u, 32});
+  for (int i = 0; i < 6; ++i)
+    sink.on_event(crypto::DataEvent{crypto::OpClass::kStore,
+                                    0x8000'0000u + static_cast<std::uint32_t>(i),
+                                    32});
+}
+
+/// Function-call epilogue: register restores + return.
+template <typename Sink>
+void emit_epilogue(Sink& sink) {
+  for (int i = 0; i < 6; ++i)
+    sink.on_event(crypto::DataEvent{crypto::OpClass::kLoad,
+                                    0x8000'0000u + static_cast<std::uint32_t>(i),
+                                    32});
+  sink.on_event(crypto::DataEvent{crypto::OpClass::kBranch, 0, 32});
+}
+
+}  // namespace
+
+void SocSimulator::run_cipher(const crypto::BlockCipher& cipher,
+                              const crypto::Block16& plaintext, Trace& out) {
+  const std::size_t from = out.samples.size();
+  RenderSink sink(power_model_, injector_, out.samples);
+  emit_prologue(sink);
+  const crypto::Block16 ciphertext = cipher.encrypt(plaintext, &sink);
+  emit_epilogue(sink);
+  apply_acquisition_tail(out, from);
+
+  CoAnnotation co;
+  co.start_sample = sink.first_program_sample();
+  co.end_sample = out.samples.size();
+  co.plaintext = plaintext;
+  co.ciphertext = ciphertext;
+  out.cos.push_back(co);
+  out.cipher_name = cipher.name();
+  out.random_delay_max = random_delay_bound(config_.random_delay);
+}
+
+void SocSimulator::run_noise_app(std::size_t approx_instructions, Trace& out) {
+  const std::size_t from = out.samples.size();
+  RenderSink sink(power_model_, injector_, out.samples);
+  emit_prologue(sink);
+  noise_gen_.run_app(approx_instructions, [&](const crypto::DataEvent& e) {
+    sink.on_event(e);
+  });
+  emit_epilogue(sink);
+  apply_acquisition_tail(out, from);
+  out.random_delay_max = random_delay_bound(config_.random_delay);
+}
+
+}  // namespace scalocate::trace

@@ -1,0 +1,66 @@
+// System-on-chip trace simulator.
+//
+// Drop-in replacement for the paper's measurement setup (CW305 FPGA with a
+// 32-bit RISC-V SoC @ 50 MHz + Picoscope @ 125 MS/s): programs are executed
+// as instruction-event streams, the random-delay countermeasure injects
+// dummy instructions between every pair of program instructions, the power
+// model renders events into samples, and the acquisition model applies the
+// oscilloscope's noise/quantization. Ground-truth CO boundaries are
+// recorded in the produced Trace for scoring.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "crypto/cipher.hpp"
+#include "trace/acquisition.hpp"
+#include "trace/noise_apps.hpp"
+#include "trace/power_model.hpp"
+#include "trace/random_delay.hpp"
+#include "trace/trace.hpp"
+
+namespace scalocate::trace {
+
+struct SocConfig {
+  RandomDelayConfig random_delay = RandomDelayConfig::kRd4;
+  PowerModelConfig power{};
+  AcquisitionConfig acquisition{};
+  std::uint64_t seed = 1;  ///< master seed (TRNG, noise apps, acquisition)
+};
+
+class SocSimulator {
+ public:
+  explicit SocSimulator(SocConfig config);
+
+  /// Executes a NOP sled of `n_nops` program NOPs (the paper's trigger
+  /// substitute during dataset acquisition). Appends samples to `out`.
+  void run_nop_sled(std::size_t n_nops, Trace& out);
+
+  /// Executes one encryption and annotates its ground-truth boundaries and
+  /// plaintext/ciphertext in `out.cos`.
+  void run_cipher(const crypto::BlockCipher& cipher,
+                  const crypto::Block16& plaintext, Trace& out);
+
+  /// Executes one noise application of roughly `approx_instructions`.
+  void run_noise_app(std::size_t approx_instructions, Trace& out);
+
+  const SocConfig& config() const { return config_; }
+
+  /// Dummy instructions inserted so far by the countermeasure.
+  std::uint64_t dummies_inserted() const { return injector_.dummies_inserted(); }
+
+ private:
+  // EventSink adapter: injects random delay before every program event and
+  // renders both dummies and the program event into the sample buffer.
+  class RenderSink;
+
+  void apply_acquisition_tail(Trace& out, std::size_t from_sample);
+
+  SocConfig config_;
+  PowerModel power_model_;
+  RandomDelayInjector injector_;
+  NoiseAppGenerator noise_gen_;
+  AcquisitionModel acquisition_;
+};
+
+}  // namespace scalocate::trace

@@ -1,0 +1,59 @@
+#include "trace/trace.hpp"
+
+#include "common/io.hpp"
+
+namespace scalocate::trace {
+
+namespace {
+constexpr std::uint64_t kTraceMagic = 0x5343414c54524331ULL;  // "SCALTRC1"
+}
+
+std::vector<std::size_t> Trace::co_starts() const {
+  std::vector<std::size_t> out;
+  out.reserve(cos.size());
+  for (const auto& co : cos) out.push_back(co.start_sample);
+  return out;
+}
+
+double Trace::mean_co_length() const {
+  if (cos.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& co : cos)
+    acc += static_cast<double>(co.end_sample - co.start_sample);
+  return acc / static_cast<double>(cos.size());
+}
+
+void save_trace(const Trace& trace, const std::string& path) {
+  auto os = io::open_for_write(path, kTraceMagic);
+  io::write_string(os, trace.cipher_name);
+  io::write_scalar(os, trace.sample_rate_hz);
+  io::write_scalar(os, trace.random_delay_max);
+  io::write_vector(os, trace.samples);
+  io::write_scalar<std::uint64_t>(os, trace.cos.size());
+  for (const auto& co : trace.cos) {
+    io::write_scalar<std::uint64_t>(os, co.start_sample);
+    io::write_scalar<std::uint64_t>(os, co.end_sample);
+    os.write(reinterpret_cast<const char*>(co.plaintext.data()), 16);
+    os.write(reinterpret_cast<const char*>(co.ciphertext.data()), 16);
+  }
+}
+
+Trace load_trace(const std::string& path) {
+  auto is = io::open_for_read(path, kTraceMagic);
+  Trace t;
+  t.cipher_name = io::read_string(is);
+  t.sample_rate_hz = io::read_scalar<double>(is);
+  t.random_delay_max = io::read_scalar<std::uint32_t>(is);
+  t.samples = io::read_vector<float>(is);
+  const auto n_cos = io::read_scalar<std::uint64_t>(is);
+  t.cos.resize(static_cast<std::size_t>(n_cos));
+  for (auto& co : t.cos) {
+    co.start_sample = static_cast<std::size_t>(io::read_scalar<std::uint64_t>(is));
+    co.end_sample = static_cast<std::size_t>(io::read_scalar<std::uint64_t>(is));
+    is.read(reinterpret_cast<char*>(co.plaintext.data()), 16);
+    is.read(reinterpret_cast<char*>(co.ciphertext.data()), 16);
+  }
+  return t;
+}
+
+}  // namespace scalocate::trace

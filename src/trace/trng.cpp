@@ -1,0 +1,31 @@
+#include "trace/trng.hpp"
+
+namespace scalocate::trace {
+
+Trng::Trng(std::uint64_t seed) : rng_(seed) {}
+
+std::uint32_t Trng::next_word() {
+  const auto word = static_cast<std::uint32_t>(rng_.next_u64());
+  ++words_produced_;
+  if (words_produced_ > 1 && word == last_word_) {
+    ++current_run_;
+  } else {
+    current_run_ = 1;
+  }
+  if (current_run_ > longest_repetition_) longest_repetition_ = current_run_;
+  last_word_ = word;
+  return word;
+}
+
+std::uint32_t Trng::next_delay(std::uint32_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling on the low bits keeps the distribution uniform.
+  const std::uint32_t span = bound + 1;
+  const std::uint32_t limit = (0xffffffffu / span) * span;
+  for (;;) {
+    const std::uint32_t w = next_word();
+    if (w < limit) return w % span;
+  }
+}
+
+}  // namespace scalocate::trace

@@ -1,0 +1,117 @@
+// Tests for the two state-of-the-art baseline locators ([10], [11]).
+//
+// The load-bearing claims of Table II are exercised here: both baselines
+// locate COs reliably when the random-delay countermeasure is OFF, and
+// degrade to (near-)zero hit rate when it is ON.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/metrics.hpp"
+#include "sca/matched_filter.hpp"
+#include "sca/waveform_matching.hpp"
+#include "trace/scenario.hpp"
+
+namespace scalocate::sca {
+namespace {
+
+struct Setup {
+  trace::CipherAcquisition acq;
+  trace::Trace eval;
+  std::vector<std::size_t> truth;
+};
+
+Setup make_setup(trace::RandomDelayConfig rd, std::uint64_t seed,
+                 std::size_t n_cos = 24) {
+  trace::ScenarioConfig sc;
+  sc.cipher = crypto::CipherId::kAes128;
+  sc.random_delay = rd;
+  sc.seed = seed;
+  crypto::Key16 key{};
+  key[0] = 0x2b;
+  Setup s;
+  s.acq = trace::acquire_cipher_traces(sc, 48, key);
+  s.eval = trace::acquire_eval_trace(sc, n_cos, key, /*interleave_noise=*/false);
+  s.truth = s.eval.co_starts();
+  return s;
+}
+
+TEST(MatchedFilter, LocatesAllCosWithoutRandomDelay) {
+  const auto s = make_setup(trace::RandomDelayConfig::kOff, 101);
+  MatchedFilterLocator mf;
+  mf.fit(s.acq);
+  const auto located = mf.locate(s.eval.samples);
+  const auto score = core::score_hits(located, s.truth, 128);
+  EXPECT_GE(score.hit_rate(), 0.90);
+}
+
+TEST(MatchedFilter, DegradesUnderRd4) {
+  const auto s = make_setup(trace::RandomDelayConfig::kRd4, 103);
+  MatchedFilterLocator mf;
+  mf.fit(s.acq);
+  const auto located = mf.locate(s.eval.samples);
+  const auto score = core::score_hits(located, s.truth, 128);
+  EXPECT_LE(score.hit_rate(), 0.5);  // far from its RD-0 performance
+}
+
+TEST(MatchedFilter, CalibrationResponseDropsUnderRd) {
+  const auto clean = make_setup(trace::RandomDelayConfig::kOff, 105, 4);
+  const auto rd = make_setup(trace::RandomDelayConfig::kRd4, 105, 4);
+  MatchedFilterLocator mf_clean, mf_rd;
+  mf_clean.fit(clean.acq);
+  mf_rd.fit(rd.acq);
+  EXPECT_GT(mf_clean.calibration_response(), mf_rd.calibration_response());
+  EXPECT_GT(mf_clean.calibration_response(), 0.55);
+}
+
+TEST(MatchedFilter, RequiresFitBeforeLocate) {
+  MatchedFilterLocator mf;
+  std::vector<float> t(1000);
+  EXPECT_THROW(mf.locate(t), Error);
+  EXPECT_FALSE(mf.is_fitted());
+}
+
+TEST(MatchedFilter, TemplateHasConfiguredLength) {
+  const auto s = make_setup(trace::RandomDelayConfig::kOff, 107, 4);
+  MatchedFilterConfig cfg;
+  cfg.template_length = 256;
+  MatchedFilterLocator mf(cfg);
+  mf.fit(s.acq);
+  EXPECT_EQ(mf.template_waveform().size(), 256u);
+}
+
+TEST(WaveformMatching, LocatesAllCosWithoutRandomDelay) {
+  const auto s = make_setup(trace::RandomDelayConfig::kOff, 109);
+  WaveformMatchingLocator wm;
+  wm.fit(s.acq);
+  const auto located = wm.locate(s.eval.samples);
+  const auto score = core::score_hits(located, s.truth, 128);
+  EXPECT_GE(score.hit_rate(), 0.75);
+}
+
+TEST(WaveformMatching, FailsUnderRd4) {
+  const auto s = make_setup(trace::RandomDelayConfig::kRd4, 111);
+  WaveformMatchingLocator wm;
+  wm.fit(s.acq);
+  const auto located = wm.locate(s.eval.samples);
+  const auto score = core::score_hits(located, s.truth, 128);
+  EXPECT_LE(score.hit_rate(), 0.3);
+}
+
+TEST(WaveformMatching, SelectsAMedoidReference) {
+  const auto s = make_setup(trace::RandomDelayConfig::kOff, 113, 4);
+  WaveformMatchingConfig cfg;
+  cfg.candidate_pool = 8;
+  WaveformMatchingLocator wm(cfg);
+  wm.fit(s.acq);
+  EXPECT_LT(wm.medoid_index(), 8u);
+  EXPECT_EQ(wm.reference_waveform().size(), cfg.reference_length);
+}
+
+TEST(WaveformMatching, RequiresFitBeforeLocate) {
+  WaveformMatchingLocator wm;
+  std::vector<float> t(1000);
+  EXPECT_THROW(wm.locate(t), Error);
+}
+
+}  // namespace
+}  // namespace scalocate::sca

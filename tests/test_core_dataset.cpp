@@ -1,0 +1,150 @@
+// Tests for the Dataset Creation block (Section III-A) and the split.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "core/dataset.hpp"
+#include "trace/scenario.hpp"
+
+namespace scalocate::core {
+namespace {
+
+PipelineParams small_params() {
+  auto p = PipelineParams::defaults_for(crypto::CipherId::kCamellia128);
+  p.n_train = 128;
+  p.sizes = {32, 48, 24};
+  return p;
+}
+
+trace::CipherAcquisition make_acq(std::size_t n, std::uint64_t seed) {
+  trace::ScenarioConfig sc;
+  sc.cipher = crypto::CipherId::kCamellia128;
+  sc.random_delay = trace::RandomDelayConfig::kRd2;
+  sc.seed = seed;
+  return trace::acquire_cipher_traces(sc, n, crypto::Key16{});
+}
+
+TEST(Dataset, BuildsRequestedComposition) {
+  const auto acq = make_acq(40, 3);
+  const auto noise = trace::acquire_noise_trace({}, 20000);
+  DatasetBuilder builder(small_params(), 7);
+  const auto ds = builder.build(acq, noise);
+  EXPECT_EQ(ds.window_length, 128u);
+  EXPECT_EQ(ds.count_label(1), 32u);
+  EXPECT_EQ(ds.count_label(0), 48u + 24u);
+  for (const auto& w : ds.windows) EXPECT_EQ(w.size(), 128u);
+}
+
+TEST(Dataset, WindowsAreStandardized) {
+  const auto acq = make_acq(16, 5);
+  const auto noise = trace::acquire_noise_trace({}, 10000);
+  DatasetBuilder builder(small_params(), 7);
+  const auto ds = builder.build(acq, noise);
+  for (const auto& w : ds.windows) {
+    EXPECT_NEAR(stats::mean(w), 0.0, 1e-4);
+    EXPECT_NEAR(stats::stddev(w), 1.0, 1e-3);
+  }
+}
+
+TEST(Dataset, StandardizeWindowHelper) {
+  std::vector<float> w = {1.f, 2.f, 3.f, 4.f};
+  DatasetBuilder::standardize_window(w);
+  EXPECT_NEAR(stats::mean(w), 0.0, 1e-6);
+  std::vector<float> constant(4, 2.f);
+  DatasetBuilder::standardize_window(constant);
+  for (float v : constant) EXPECT_FLOAT_EQ(v, 0.f);
+}
+
+TEST(Dataset, SplitFractionsAreRespected) {
+  const auto acq = make_acq(64, 9);
+  const auto noise = trace::acquire_noise_trace({}, 30000);
+  auto params = small_params();
+  params.sizes = {64, 64, 64};
+  DatasetBuilder builder(params, 11);
+  const auto ds = builder.build(acq, noise);
+  const auto split = builder.split(ds);
+  const auto total = split.train.size() + split.val.size() + split.test.size();
+  EXPECT_EQ(total, ds.size());
+  EXPECT_NEAR(static_cast<double>(split.train.size()) / total, 0.80, 0.03);
+  EXPECT_NEAR(static_cast<double>(split.val.size()) / total, 0.15, 0.03);
+}
+
+TEST(Dataset, SplitIsStratified) {
+  const auto acq = make_acq(64, 13);
+  const auto noise = trace::acquire_noise_trace({}, 30000);
+  auto params = small_params();
+  params.sizes = {64, 64, 64};
+  DatasetBuilder builder(params, 13);
+  const auto split = builder.split(builder.build(acq, noise));
+  // Every split contains both classes.
+  for (const auto* part : {&split.train, &split.val, &split.test}) {
+    EXPECT_GT(part->count_label(0), 0u);
+    EXPECT_GT(part->count_label(1), 0u);
+  }
+  // Class ratio in train close to global ratio (1/3 positives).
+  const double ratio = static_cast<double>(split.train.count_label(1)) /
+                       static_cast<double>(split.train.size());
+  EXPECT_NEAR(ratio, 1.0 / 3.0, 0.05);
+}
+
+TEST(Dataset, JitterZeroTakesExactStartWindows) {
+  const auto acq = make_acq(8, 17);
+  const auto noise = trace::acquire_noise_trace({}, 10000);
+  auto params = small_params();
+  params.start_jitter = 0;
+  params.sizes = {8, 0, 0};
+  DatasetBuilder builder(params, 19);
+  const auto ds = builder.build(acq, noise);
+  ASSERT_EQ(ds.size(), 8u);
+  // With zero jitter, window i is the standardized prefix of capture i.
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::vector<float> expected(
+        acq.captures[i].samples.begin(),
+        acq.captures[i].samples.begin() + 128);
+    DatasetBuilder::standardize_window(expected);
+    EXPECT_EQ(ds.windows[i], expected);
+  }
+}
+
+TEST(Dataset, FewerCapturesThanQuotaStillWorks) {
+  const auto acq = make_acq(4, 21);
+  const auto noise = trace::acquire_noise_trace({}, 10000);
+  auto params = small_params();
+  params.sizes = {100, 20, 10};  // quota > captures: cycles through captures
+  DatasetBuilder builder(params, 23);
+  const auto ds = builder.build(acq, noise);
+  EXPECT_EQ(ds.count_label(1), 100u);
+}
+
+TEST(Dataset, ConsecutiveRestModeMatchesPaperSemantics) {
+  const auto acq = make_acq(4, 25);
+  const auto noise = trace::acquire_noise_trace({}, 10000);
+  auto params = small_params();
+  params.random_rest_offsets = false;
+  params.start_jitter = 0;
+  params.sizes = {0, 6, 0};
+  DatasetBuilder builder(params, 27);
+  const auto ds = builder.build(acq, noise);
+  ASSERT_GE(ds.size(), 1u);
+  // First rest window = capture 0 at offset exactly N.
+  std::vector<float> expected(acq.captures[0].samples.begin() + 128,
+                              acq.captures[0].samples.begin() + 256);
+  DatasetBuilder::standardize_window(expected);
+  EXPECT_EQ(ds.windows[0], expected);
+}
+
+TEST(Dataset, SplitTooSmallThrows) {
+  WindowDataset tiny;
+  tiny.window_length = 4;
+  for (int i = 0; i < 5; ++i) {
+    tiny.windows.push_back({0.f, 0.f, 0.f, 0.f});
+    tiny.labels.push_back(static_cast<std::uint8_t>(i % 2));
+  }
+  DatasetBuilder builder(small_params(), 29);
+  EXPECT_THROW(builder.split(tiny), Error);
+}
+
+}  // namespace
+}  // namespace scalocate::core

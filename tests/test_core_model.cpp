@@ -1,0 +1,97 @@
+// Tests for the paper-CNN builder (Section III-B / Figure 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/model.hpp"
+#include "nn/loss.hpp"
+
+namespace scalocate::core {
+namespace {
+
+nn::Tensor random_window(std::size_t batch, std::size_t n, std::uint64_t seed) {
+  nn::Tensor t({batch, 1, n});
+  Rng rng(seed);
+  for (float& v : t.flat()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+TEST(PaperCnn, OutputsTwoClassScores) {
+  auto net = build_paper_cnn(CnnConfig::scaled());
+  const auto y = net->forward(random_window(3, 128, 1));
+  EXPECT_EQ(y.rank(), 2u);
+  EXPECT_EQ(y.dim(0), 3u);
+  EXPECT_EQ(y.dim(1), 2u);
+}
+
+TEST(PaperCnn, GlobalPoolingAcceptsDifferentWindowSizes) {
+  // The property Section III-B highlights: Ntrain != Ninf with one model.
+  auto net = build_paper_cnn(CnnConfig::scaled());
+  net->set_training(false);
+  EXPECT_NO_THROW(net->forward(random_window(1, 320, 2)));
+  EXPECT_NO_THROW(net->forward(random_window(1, 192, 3)));
+  EXPECT_NO_THROW(net->forward(random_window(1, 64, 4)));
+}
+
+TEST(PaperCnn, PaperConfigUsesKernel64And16Filters) {
+  const auto cfg = CnnConfig::paper();
+  EXPECT_EQ(cfg.kernel_size, 64u);
+  EXPECT_EQ(cfg.base_filters, 16u);
+}
+
+TEST(PaperCnn, ParameterCountMatchesArchitecture) {
+  const CnnConfig cfg = CnnConfig::scaled();  // F=16, k=16, H=32
+  auto net = build_paper_cnn(cfg);
+  std::size_t total = 0;
+  for (auto* p : net->params()) total += p->value.numel();
+  // conv1: 1*16*16+16; bn1: 32
+  // rb1: 2x(16*16*16+16) + 2x32
+  // rb2: (16*32*16+32) + (32*32*16+32) + 2x64 + proj(16*32*1+32)
+  // fc1: 32*32+32; fc2: 32*2+2
+  const std::size_t expected =
+      (1 * 16 * 16 + 16) + 32 + 2 * (16 * 16 * 16 + 16) + 2 * 32 +
+      (16 * 32 * 16 + 32) + (32 * 32 * 16 + 32) + 2 * 64 +
+      (16 * 32 * 1 + 32) + (32 * 32 + 32) + (32 * 2 + 2);
+  EXPECT_EQ(total, expected);
+}
+
+TEST(PaperCnn, DeterministicInitPerSeed) {
+  CnnConfig cfg = CnnConfig::scaled();
+  cfg.init_seed = 42;
+  auto a = build_paper_cnn(cfg);
+  auto b = build_paper_cnn(cfg);
+  a->set_training(false);
+  b->set_training(false);
+  const auto x = random_window(1, 96, 5);
+  const auto ya = a->forward(x);
+  const auto yb = b->forward(x);
+  EXPECT_FLOAT_EQ(ya.at(0, 0), yb.at(0, 0));
+  EXPECT_FLOAT_EQ(ya.at(0, 1), yb.at(0, 1));
+}
+
+TEST(PaperCnn, TrainableEndToEnd) {
+  // One Adam-free gradient step through the full network must not throw and
+  // must produce finite gradients.
+  auto net = build_paper_cnn(CnnConfig::scaled());
+  net->set_training(true);
+  nn::SoftmaxCrossEntropy loss;
+  const auto x = random_window(4, 96, 7);
+  const auto logits = net->forward(x);
+  loss.forward(logits, {0, 1, 0, 1});
+  net->backward(loss.backward());
+  for (auto* p : net->params())
+    for (float g : p->grad.flat()) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(PaperCnn, DescribeMentionsAllStages) {
+  const std::string desc = describe_paper_cnn(CnnConfig::paper());
+  EXPECT_NE(desc.find("Conv1d(1->16, k=64"), std::string::npos);
+  EXPECT_NE(desc.find("ResidualBlock"), std::string::npos);
+  EXPECT_NE(desc.find("GlobalAvgPool1d"), std::string::npos);
+  EXPECT_NE(desc.find("Linear(32->2)"), std::string::npos);
+  EXPECT_NE(desc.find("Softmax"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scalocate::core

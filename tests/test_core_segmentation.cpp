@@ -1,0 +1,165 @@
+// Tests for the Segmentation stage (Section III-D) and the metrics.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/metrics.hpp"
+#include "core/segmentation.hpp"
+
+namespace scalocate::core {
+namespace {
+
+SlidingWindowResult make_swc(std::vector<float> scores, std::size_t stride,
+                             std::size_t window = 64) {
+  SlidingWindowResult r;
+  r.scores = std::move(scores);
+  r.stride = stride;
+  r.window = window;
+  return r;
+}
+
+TEST(Segmenter, LocatesPlateauRisingEdges) {
+  // Background -3, two 6-window plateaus at indices 10 and 30.
+  std::vector<float> scores(48, -3.f);
+  for (int i = 10; i < 16; ++i) scores[static_cast<std::size_t>(i)] = 3.f;
+  for (int i = 30; i < 36; ++i) scores[static_cast<std::size_t>(i)] = 3.f;
+  SegmenterConfig cfg;
+  cfg.threshold = 0.0f;
+  cfg.median_filter_k = 3;
+  const auto seg = Segmenter(cfg).segment(make_swc(scores, 100));
+  EXPECT_EQ(seg.co_starts, (std::vector<std::size_t>{1000, 3000}));
+  EXPECT_EQ(seg.threshold_used, 0.0f);
+  EXPECT_EQ(seg.median_k_used, 3u);
+}
+
+TEST(Segmenter, MedianFilterRemovesGlitches) {
+  std::vector<float> scores(40, -3.f);
+  scores[5] = 3.f;  // single-window glitch
+  for (int i = 20; i < 28; ++i) scores[static_cast<std::size_t>(i)] = 3.f;
+  SegmenterConfig cfg;
+  cfg.threshold = 0.0f;
+  cfg.median_filter_k = 3;
+  const auto seg = Segmenter(cfg).segment(make_swc(scores, 10));
+  EXPECT_EQ(seg.co_starts, (std::vector<std::size_t>{200}));
+}
+
+TEST(Segmenter, PlateauAtStartIsReported) {
+  std::vector<float> scores(20, -3.f);
+  for (int i = 0; i < 6; ++i) scores[static_cast<std::size_t>(i)] = 3.f;
+  SegmenterConfig cfg;
+  cfg.threshold = 0.0f;
+  cfg.median_filter_k = 3;
+  const auto seg = Segmenter(cfg).segment(make_swc(scores, 10));
+  ASSERT_EQ(seg.co_starts.size(), 1u);
+  EXPECT_EQ(seg.co_starts[0], 0u);
+}
+
+TEST(Segmenter, EmptyInputYieldsNothing) {
+  const auto seg = Segmenter(SegmenterConfig{}).segment(make_swc({}, 10));
+  EXPECT_TRUE(seg.co_starts.empty());
+}
+
+TEST(Segmenter, AutoMedianKIsOddAndClamped) {
+  EXPECT_EQ(Segmenter::auto_median_k(1), 3u);
+  EXPECT_EQ(Segmenter::auto_median_k(8), 5u);
+  EXPECT_EQ(Segmenter::auto_median_k(100), 11u);
+  for (std::size_t p : {1u, 2u, 5u, 9u, 33u})
+    EXPECT_EQ(Segmenter::auto_median_k(p) % 2, 1u);
+}
+
+TEST(Segmenter, OtsuSeparatesBimodalScores) {
+  std::vector<float> scores;
+  for (int i = 0; i < 100; ++i) scores.push_back(-5.f + 0.01f * i);
+  for (int i = 0; i < 100; ++i) scores.push_back(5.f + 0.01f * i);
+  const float th = Segmenter::otsu_threshold(scores);
+  EXPECT_GT(th, -4.2f);
+  EXPECT_LT(th, 5.0f);
+}
+
+TEST(Segmenter, AutoThresholdViaNaN) {
+  std::vector<float> scores(30, -4.f);
+  for (int i = 10; i < 20; ++i) scores[static_cast<std::size_t>(i)] = 4.f;
+  SegmenterConfig cfg;  // threshold NaN -> Otsu
+  cfg.median_filter_k = 3;
+  const auto seg = Segmenter(cfg).segment(make_swc(scores, 10));
+  EXPECT_GT(seg.threshold_used, -4.0f);
+  EXPECT_LT(seg.threshold_used, 4.0f);
+  EXPECT_EQ(seg.co_starts, (std::vector<std::size_t>{100}));
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(ConfusionMatrix, RatesAndAccuracy) {
+  ConfusionMatrix cm;
+  for (int i = 0; i < 90; ++i) cm.add(0, 0);
+  for (int i = 0; i < 10; ++i) cm.add(0, 1);
+  for (int i = 0; i < 30; ++i) cm.add(1, 1);
+  for (int i = 0; i < 10; ++i) cm.add(1, 0);
+  EXPECT_DOUBLE_EQ(cm.rate(0, 0), 0.9);
+  EXPECT_DOUBLE_EQ(cm.rate(1, 1), 0.75);
+  EXPECT_DOUBLE_EQ(cm.true_negative_rate(), 0.9);
+  EXPECT_DOUBLE_EQ(cm.true_positive_rate(), 0.75);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 120.0 / 140.0);
+  EXPECT_EQ(cm.total(), 140u);
+}
+
+TEST(ConfusionMatrix, EmptyRatesAreZero) {
+  ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.rate(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrix, RenderContainsPercentages) {
+  ConfusionMatrix cm;
+  cm.add(0, 0);
+  cm.add(1, 1);
+  const auto s = cm.render("AES");
+  EXPECT_NE(s.find("AES"), std::string::npos);
+  EXPECT_NE(s.find("100.00%"), std::string::npos);
+}
+
+TEST(ConfusionMatrix, InvalidLabelThrows) {
+  ConfusionMatrix cm;
+  EXPECT_THROW(cm.add(2, 0), Error);
+}
+
+TEST(HitScore, ExactMatches) {
+  const auto s = score_hits({100, 200, 300}, {100, 200, 300}, 10);
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.false_alarms, 0u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_abs_error, 0.0);
+}
+
+TEST(HitScore, ToleranceWindow) {
+  const auto s = score_hits({105, 250}, {100, 200}, 10);
+  EXPECT_EQ(s.hits, 1u);           // 105 matches 100; 250 too far from 200
+  EXPECT_EQ(s.false_alarms, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_abs_error, 5.0);
+}
+
+TEST(HitScore, EachDetectionMatchesOnce) {
+  // One detection cannot satisfy two true starts.
+  const auto s = score_hits({100}, {95, 105}, 20);
+  EXPECT_EQ(s.hits, 1u);
+}
+
+TEST(HitScore, MissedAndEmpty) {
+  const auto s = score_hits({}, {100, 200}, 10);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.0);
+  const auto t = score_hits({5}, {}, 10);
+  EXPECT_EQ(t.false_alarms, 1u);
+  EXPECT_DOUBLE_EQ(t.hit_rate(), 0.0);
+}
+
+TEST(HitScore, NearestDetectionWins) {
+  const auto s = score_hits({98, 110}, {100}, 20);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_abs_error, 2.0);  // 98 is closer than 110
+  EXPECT_EQ(s.false_alarms, 1u);
+}
+
+}  // namespace
+}  // namespace scalocate::core

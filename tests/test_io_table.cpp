@@ -1,0 +1,113 @@
+// Tests for binary IO helpers and the text-table renderer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/io.hpp"
+#include "common/table.hpp"
+
+namespace scalocate {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Io, ScalarRoundTrip) {
+  std::stringstream ss;
+  io::write_scalar<std::uint32_t>(ss, 0xdeadbeefu);
+  io::write_scalar<double>(ss, 3.25);
+  EXPECT_EQ(io::read_scalar<std::uint32_t>(ss), 0xdeadbeefu);
+  EXPECT_DOUBLE_EQ(io::read_scalar<double>(ss), 3.25);
+}
+
+TEST(Io, VectorRoundTrip) {
+  std::stringstream ss;
+  const std::vector<float> v = {1.f, -2.f, 3.5f};
+  io::write_vector(ss, v);
+  EXPECT_EQ(io::read_vector<float>(ss), v);
+}
+
+TEST(Io, EmptyVectorRoundTrip) {
+  std::stringstream ss;
+  io::write_vector(ss, std::vector<float>{});
+  EXPECT_TRUE(io::read_vector<float>(ss).empty());
+}
+
+TEST(Io, StringRoundTrip) {
+  std::stringstream ss;
+  io::write_string(ss, "hello scalocate");
+  io::write_string(ss, "");
+  EXPECT_EQ(io::read_string(ss), "hello scalocate");
+  EXPECT_EQ(io::read_string(ss), "");
+}
+
+TEST(Io, MagicValidation) {
+  const auto path = temp_path("scalocate_io_test.bin");
+  {
+    auto os = io::open_for_write(path, 0x1122334455667788ULL);
+    io::write_scalar<std::uint32_t>(os, 7);
+  }
+  {
+    auto is = io::open_for_read(path, 0x1122334455667788ULL);
+    EXPECT_EQ(io::read_scalar<std::uint32_t>(is), 7u);
+  }
+  EXPECT_THROW(io::open_for_read(path, 0x9999999999999999ULL), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(io::open_for_read("/nonexistent/dir/file.bin", 1), IoError);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"bb", "22"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| alpha |"), std::string::npos);
+  EXPECT_NE(s.find("+-"), std::string::npos);
+}
+
+TEST(Table, SeparatorProducesExtraRule) {
+  TextTable t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = t.render();
+  // header top + header bottom + separator + final = at least 4 rules
+  std::size_t rules = 0;
+  for (std::size_t pos = 0; (pos = s.find("+-", pos)) != std::string::npos;
+       pos += 2)
+    ++rules;
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+}
+
+TEST(Format, Fixed) { EXPECT_EQ(format_fixed(3.14159, 2), "3.14"); }
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.9956), "99.56%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(Format, Kilo) {
+  EXPECT_EQ(format_kilo(22000), "22k");
+  EXPECT_EQ(format_kilo(4800), "4.8k");
+  EXPECT_EQ(format_kilo(137), "137");
+}
+
+}  // namespace
+}  // namespace scalocate

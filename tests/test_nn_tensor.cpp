@@ -1,0 +1,87 @@
+// Tests for the Tensor container.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nn/tensor.hpp"
+
+namespace scalocate::nn {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0u);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  for (float v : t.flat()) EXPECT_FLOAT_EQ(v, 0.f);
+}
+
+TEST(Tensor, ShapeAndDims) {
+  Tensor t({4, 2, 8});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.dim(0), 4u);
+  EXPECT_EQ(t.dim(1), 2u);
+  EXPECT_EQ(t.dim(2), 8u);
+  EXPECT_THROW(t.dim(3), InvalidArgument);
+}
+
+TEST(Tensor, StridesAreRowMajor) {
+  Tensor t({4, 2, 8});
+  EXPECT_EQ(t.stride(0), 16u);
+  EXPECT_EQ(t.stride(1), 8u);
+  EXPECT_EQ(t.stride(2), 1u);
+}
+
+TEST(Tensor, IndexingIsConsistentWithStrides) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 42.f;
+  EXPECT_FLOAT_EQ(t.at(1 * 12 + 2 * 4 + 3), 42.f);
+  t.at(0, 1, 0) = 7.f;
+  EXPECT_FLOAT_EQ(t.data()[4], 7.f);
+}
+
+TEST(Tensor, Rank2Indexing) {
+  Tensor t({3, 5});
+  t.at(2, 4) = 1.5f;
+  EXPECT_FLOAT_EQ(t.at(14), 1.5f);
+}
+
+TEST(Tensor, FromDataAdoptsValues) {
+  auto t = Tensor::from_data({2, 2}, {1.f, 2.f, 3.f, 4.f});
+  EXPECT_FLOAT_EQ(t.at(1, 1), 4.f);
+}
+
+TEST(Tensor, FromDataSizeMismatchThrows) {
+  EXPECT_THROW(Tensor::from_data({2, 2}, {1.f}), InvalidArgument);
+}
+
+TEST(Tensor, Fill) {
+  Tensor t({3});
+  t.fill(2.5f);
+  for (float v : t.flat()) EXPECT_FLOAT_EQ(v, 2.5f);
+}
+
+TEST(Tensor, ReshapedPreservesData) {
+  auto t = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  auto u = t.reshaped({3, 2});
+  EXPECT_EQ(u.dim(0), 3u);
+  EXPECT_FLOAT_EQ(u.at(2, 1), 6.f);
+  EXPECT_THROW(t.reshaped({5}), InvalidArgument);
+}
+
+TEST(Tensor, ShapeString) {
+  Tensor t({2, 16, 192});
+  EXPECT_EQ(t.shape_string(), "(2, 16, 192)");
+}
+
+TEST(Tensor, SameShape) {
+  Tensor a({2, 3}), b({2, 3}), c({3, 2});
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+}  // namespace
+}  // namespace scalocate::nn

@@ -1,0 +1,153 @@
+// Unit tests for the deterministic RNG (common/rng).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace scalocate {
+namespace {
+
+TEST(Rng, EqualSeedsProduceEqualStreams) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), InvalidArgument);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) EXPECT_NEAR(c, expected, 0.05 * expected);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntBadRangeThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(4, 3), InvalidArgument);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 4.0);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 4.0);
+  }
+}
+
+TEST(Rng, NormalMomentsMatchStandardGaussian) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(29);
+  const int n = 30000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 0.5);
+  EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(31);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);  // overwhelmingly unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, FillBytesDeterministic) {
+  Rng a(41), b(41);
+  std::uint8_t x[64], y[64];
+  a.fill_bytes(x, 64);
+  b.fill_bytes(y, 64);
+  EXPECT_TRUE(std::equal(x, x + 64, y));
+}
+
+TEST(Rng, SplitProducesDecorrelatedStream) {
+  Rng parent(43);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Splitmix64, StableAndAdvancesState) {
+  std::uint64_t s1 = 42, s2 = 42;
+  const auto v1 = splitmix64(s1);
+  const auto v2 = splitmix64(s2);
+  EXPECT_EQ(v1, v2);
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(splitmix64(s1), v1);  // state advanced -> new value
+}
+
+}  // namespace
+}  // namespace scalocate

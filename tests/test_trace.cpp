@@ -1,0 +1,376 @@
+// Tests for the SoC trace-simulator substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "common/stats.hpp"
+#include "trace/acquisition.hpp"
+#include "trace/noise_apps.hpp"
+#include "trace/power_model.hpp"
+#include "trace/random_delay.hpp"
+#include "trace/scenario.hpp"
+#include "trace/soc_simulator.hpp"
+#include "trace/trng.hpp"
+
+namespace scalocate::trace {
+namespace {
+
+using crypto::DataEvent;
+using crypto::OpClass;
+
+// ---------------------------------------------------------------------------
+// Power model
+// ---------------------------------------------------------------------------
+
+TEST(PowerModel, RendersSamplesPerOp) {
+  PowerModel pm;
+  std::vector<float> out;
+  pm.render(DataEvent{OpClass::kXor, 0xff, 8}, out);
+  EXPECT_EQ(out.size(), pm.config().samples_per_op);
+}
+
+TEST(PowerModel, NopIsLowestPower) {
+  PowerModel pm;
+  std::vector<float> nop, others;
+  pm.render(DataEvent{OpClass::kNop, 0, 8}, nop);
+  for (auto op : {OpClass::kLoad, OpClass::kStore, OpClass::kXor,
+                  OpClass::kSbox, OpClass::kBranch}) {
+    others.clear();
+    // Use a mid-HW value so the data term does not dominate.
+    pm.render(DataEvent{op, 0x0f, 8}, others);
+    EXPECT_LT(stats::mean(nop), stats::mean(others));
+  }
+}
+
+TEST(PowerModel, HammingWeightShiftsWriteBackSample) {
+  PowerModel pm;
+  std::vector<float> low, high;
+  pm.render(DataEvent{OpClass::kXor, 0x00, 8}, low);   // HW 0
+  pm.render(DataEvent{OpClass::kXor, 0xff, 8}, high);  // HW 8
+  const std::size_t wb = pm.config().samples_per_op - 2;
+  EXPECT_NEAR(high[wb] - low[wb], pm.config().data_alpha, 1e-5);
+}
+
+TEST(PowerModel, WidthNormalizesLeakage) {
+  PowerModel pm;
+  std::vector<float> v8, v32;
+  pm.render(DataEvent{OpClass::kXor, 0xff, 8}, v8);          // full HW at w=8
+  pm.render(DataEvent{OpClass::kXor, 0xffffffffull, 32}, v32);  // full at w=32
+  const std::size_t wb = pm.config().samples_per_op - 2;
+  EXPECT_NEAR(v8[wb], v32[wb], 1e-5);
+}
+
+TEST(PowerModel, HammingWeight) {
+  EXPECT_EQ(hamming_weight(0), 0);
+  EXPECT_EQ(hamming_weight(0xff), 8);
+  EXPECT_EQ(hamming_weight(0x8000000000000000ull), 1);
+}
+
+// ---------------------------------------------------------------------------
+// TRNG and random delay
+// ---------------------------------------------------------------------------
+
+TEST(Trng, DeterministicPerSeed) {
+  Trng a(5), b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_word(), b.next_word());
+}
+
+TEST(Trng, DelayWithinBound) {
+  Trng t(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = t.next_delay(4);
+    EXPECT_LE(d, 4u);
+  }
+  EXPECT_EQ(t.next_delay(0), 0u);
+}
+
+TEST(Trng, DelayRoughlyUniform) {
+  Trng t(11);
+  int counts[5] = {};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[t.next_delay(4)];
+  for (int c : counts) EXPECT_NEAR(c, n / 5.0, 0.06 * n / 5.0);
+}
+
+TEST(Trng, HealthCounters) {
+  Trng t(13);
+  for (int i = 0; i < 100; ++i) t.next_word();
+  EXPECT_EQ(t.words_produced(), 100u);
+  EXPECT_LT(t.longest_repetition(), 3u);  // 32-bit repeats are ~2^-32
+}
+
+TEST(RandomDelay, OffInsertsNothing) {
+  RandomDelayInjector inj(RandomDelayConfig::kOff, 1);
+  int emitted = 0;
+  for (int i = 0; i < 100; ++i) inj.inject([&](const DataEvent&) { ++emitted; });
+  EXPECT_EQ(emitted, 0);
+  EXPECT_EQ(inj.dummies_inserted(), 0u);
+}
+
+TEST(RandomDelay, Rd4InsertsAtMostFourPerGap) {
+  RandomDelayInjector inj(RandomDelayConfig::kRd4, 2);
+  for (int i = 0; i < 1000; ++i) {
+    int emitted = 0;
+    inj.inject([&](const DataEvent&) { ++emitted; });
+    EXPECT_LE(emitted, 4);
+  }
+  // Expected total approx 1000 * 2.
+  EXPECT_NEAR(static_cast<double>(inj.dummies_inserted()), 2000.0, 200.0);
+}
+
+TEST(RandomDelay, DummiesAreAluOps) {
+  RandomDelayInjector inj(RandomDelayConfig::kRd4, 3);
+  std::set<OpClass> seen;
+  for (int i = 0; i < 500; ++i)
+    inj.inject([&](const DataEvent& e) { seen.insert(e.op); });
+  for (auto op : seen)
+    EXPECT_TRUE(op == OpClass::kArith || op == OpClass::kXor ||
+                op == OpClass::kShift);
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(RandomDelay, Names) {
+  EXPECT_STREQ(random_delay_name(RandomDelayConfig::kOff), "RD-0");
+  EXPECT_STREQ(random_delay_name(RandomDelayConfig::kRd2), "RD-2");
+  EXPECT_STREQ(random_delay_name(RandomDelayConfig::kRd4), "RD-4");
+  EXPECT_EQ(random_delay_bound(RandomDelayConfig::kRd2), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Noise applications
+// ---------------------------------------------------------------------------
+
+TEST(NoiseApps, EmitsRequestedVolume) {
+  NoiseAppGenerator gen(1);
+  std::size_t emitted = 0;
+  gen.run_app(1000, [&](const DataEvent&) { ++emitted; });
+  EXPECT_EQ(emitted, 1000u);
+}
+
+TEST(NoiseApps, PhasesHaveDistinctMixes) {
+  NoiseAppGenerator gen(2);
+  std::size_t loads_mem = 0, loads_idle = 0, total = 2000;
+  gen.run_phase(NoisePhase::kMemoryBurst, total, [&](const DataEvent& e) {
+    loads_mem += e.op == OpClass::kLoad;
+  });
+  gen.run_phase(NoisePhase::kIdle, total, [&](const DataEvent& e) {
+    loads_idle += e.op == OpClass::kLoad;
+  });
+  EXPECT_GT(loads_mem, total / 3);
+  EXPECT_EQ(loads_idle, 0u);
+}
+
+TEST(NoiseApps, TableLookupPhaseContainsSbox) {
+  NoiseAppGenerator gen(3);
+  std::size_t sbox = 0;
+  gen.run_phase(NoisePhase::kTableLookup, 400, [&](const DataEvent& e) {
+    sbox += e.op == OpClass::kSbox;
+  });
+  EXPECT_EQ(sbox, 100u);  // every 4th instruction
+}
+
+TEST(NoiseApps, PhaseNames) {
+  EXPECT_EQ(noise_phase_name(NoisePhase::kMemoryBurst), "memory-burst");
+  EXPECT_EQ(noise_phase_name(NoisePhase::kMixed), "mixed");
+}
+
+// ---------------------------------------------------------------------------
+// Acquisition model
+// ---------------------------------------------------------------------------
+
+TEST(Acquisition, AddsNoiseOfConfiguredSigma) {
+  AcquisitionConfig cfg;
+  cfg.drift_amplitude = 0.0;
+  cfg.enable_quantization = false;
+  cfg.noise_sigma = 0.1;
+  AcquisitionModel acq(cfg, 5);
+  std::vector<float> samples(20000, 1.0f);
+  acq.apply(samples);
+  EXPECT_NEAR(stats::mean(samples), 1.0, 0.01);
+  EXPECT_NEAR(stats::stddev(samples), 0.1, 0.01);
+}
+
+TEST(Acquisition, QuantizationSnapsToAdcGrid) {
+  AcquisitionConfig cfg;
+  cfg.noise_sigma = 0.0;
+  cfg.drift_amplitude = 0.0;
+  cfg.adc_bits = 4;  // coarse grid to make steps visible
+  cfg.full_scale_min = 0.0;
+  cfg.full_scale_max = 1.5;
+  AcquisitionModel acq(cfg, 5);
+  std::vector<float> samples = {0.2f, 0.7f, 1.4f};
+  acq.apply(samples);
+  const double step = 1.5 / 15.0;
+  for (float v : samples) {
+    const double code = v / step;
+    EXPECT_NEAR(code, std::round(code), 1e-4);
+  }
+}
+
+TEST(Acquisition, ClampsToFullScale) {
+  AcquisitionConfig cfg;
+  cfg.noise_sigma = 0.0;
+  cfg.drift_amplitude = 0.0;
+  AcquisitionModel acq(cfg, 5);
+  std::vector<float> samples = {-10.0f, 10.0f};
+  acq.apply(samples);
+  EXPECT_GE(samples[0], cfg.full_scale_min - 1e-5);
+  EXPECT_LE(samples[1], cfg.full_scale_max + 1e-5);
+}
+
+TEST(Acquisition, DriftIsSlowAndBounded) {
+  AcquisitionConfig cfg;
+  cfg.noise_sigma = 0.0;
+  cfg.enable_quantization = false;
+  cfg.drift_amplitude = 0.05;
+  cfg.drift_period = 1000;
+  AcquisitionModel acq(cfg, 5);
+  std::vector<float> samples(2000, 0.0f);
+  acq.apply(samples);
+  EXPECT_NEAR(stats::max_value(samples), 0.05f, 1e-3);
+  EXPECT_NEAR(stats::min_value(samples), -0.05f, 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// SoC simulator + scenarios
+// ---------------------------------------------------------------------------
+
+TEST(SocSimulator, CipherRunAnnotatesGroundTruth) {
+  SocConfig cfg;
+  cfg.random_delay = RandomDelayConfig::kRd2;
+  SocSimulator sim(cfg);
+  auto cipher = crypto::make_cipher(crypto::CipherId::kAes128);
+  cipher->set_key(crypto::Key16{});
+  Trace t;
+  sim.run_nop_sled(64, t);
+  const std::size_t sled_end = t.size();
+  crypto::Block16 pt{};
+  pt[0] = 0x42;
+  sim.run_cipher(*cipher, pt, t);
+  ASSERT_EQ(t.cos.size(), 1u);
+  EXPECT_GE(t.cos[0].start_sample, sled_end);
+  EXPECT_EQ(t.cos[0].end_sample, t.size());
+  EXPECT_EQ(t.cos[0].plaintext, pt);
+  cipher->set_key(crypto::Key16{});
+  EXPECT_EQ(t.cos[0].ciphertext, cipher->encrypt(pt));
+  EXPECT_EQ(t.random_delay_max, 2u);
+}
+
+TEST(SocSimulator, RandomDelayLengthensTraces) {
+  auto run = [](RandomDelayConfig rd) {
+    SocConfig cfg;
+    cfg.random_delay = rd;
+    SocSimulator sim(cfg);
+    auto cipher = crypto::make_cipher(crypto::CipherId::kCamellia128);
+    cipher->set_key(crypto::Key16{});
+    Trace t;
+    sim.run_cipher(*cipher, crypto::Block16{}, t);
+    return t.size();
+  };
+  const auto len0 = run(RandomDelayConfig::kOff);
+  const auto len2 = run(RandomDelayConfig::kRd2);
+  const auto len4 = run(RandomDelayConfig::kRd4);
+  EXPECT_LT(len0, len2);
+  EXPECT_LT(len2, len4);
+  // RD-k inserts on average k/2 dummies per instruction.
+  EXPECT_NEAR(static_cast<double>(len2) / static_cast<double>(len0), 2.0, 0.3);
+  EXPECT_NEAR(static_cast<double>(len4) / static_cast<double>(len0), 3.0, 0.4);
+}
+
+TEST(SocSimulator, CipherRunsDifferInLengthUnderRd) {
+  SocConfig cfg;
+  cfg.random_delay = RandomDelayConfig::kRd4;
+  SocSimulator sim(cfg);
+  auto cipher = crypto::make_cipher(crypto::CipherId::kAes128);
+  cipher->set_key(crypto::Key16{});
+  std::set<std::size_t> lengths;
+  for (int i = 0; i < 5; ++i) {
+    Trace t;
+    sim.run_cipher(*cipher, crypto::Block16{}, t);
+    lengths.insert(t.size());
+  }
+  EXPECT_GT(lengths.size(), 1u);  // desynchronization at work
+}
+
+TEST(Scenario, NopBoundaryDetectorIsAccurate) {
+  ScenarioConfig sc;
+  sc.cipher = crypto::CipherId::kAes128;
+  sc.random_delay = RandomDelayConfig::kRd4;
+  sc.seed = 55;
+  const auto acq = acquire_cipher_traces(sc, 32, crypto::Key16{});
+  ASSERT_EQ(acq.captures.size(), 32u);
+  double mean_err = 0.0;
+  for (const auto& cap : acq.captures)
+    mean_err += static_cast<double>(cap.true_start_error);
+  mean_err /= 32.0;
+  EXPECT_LT(mean_err, 64.0);
+}
+
+TEST(Scenario, EvalTraceCarriesAllCos) {
+  ScenarioConfig sc;
+  sc.cipher = crypto::CipherId::kCamellia128;
+  sc.random_delay = RandomDelayConfig::kRd2;
+  sc.seed = 77;
+  crypto::Key16 key{};
+  key[1] = 0x77;
+  const auto t = acquire_eval_trace(sc, 10, key, /*interleave_noise=*/true);
+  ASSERT_EQ(t.cos.size(), 10u);
+  // Starts are increasing and separated by at least one CO length.
+  for (std::size_t i = 1; i < t.cos.size(); ++i)
+    EXPECT_GT(t.cos[i].start_sample, t.cos[i - 1].end_sample - 1);
+  EXPECT_GT(t.mean_co_length(), 500.0);
+  // Ciphertext annotations are genuine encryptions of the plaintexts.
+  auto cipher = crypto::make_cipher(sc.cipher);
+  cipher->set_key(key);
+  for (const auto& co : t.cos)
+    EXPECT_EQ(co.ciphertext, cipher->encrypt(co.plaintext));
+}
+
+TEST(Scenario, NoiseTraceHasNoCos) {
+  ScenarioConfig sc;
+  sc.seed = 88;
+  const auto t = acquire_noise_trace(sc, 5000);
+  EXPECT_TRUE(t.cos.empty());
+  EXPECT_GT(t.size(), 5000u);
+}
+
+TEST(TraceIo, SaveLoadRoundTrip) {
+  Trace t;
+  t.samples = {1.f, 2.f, 3.f};
+  t.cipher_name = "AES-128";
+  t.random_delay_max = 4;
+  CoAnnotation co;
+  co.start_sample = 1;
+  co.end_sample = 3;
+  co.plaintext[0] = 0xab;
+  co.ciphertext[15] = 0xcd;
+  t.cos.push_back(co);
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "scalocate_trace.bin").string();
+  save_trace(t, path);
+  const Trace u = load_trace(path);
+  EXPECT_EQ(u.samples, t.samples);
+  EXPECT_EQ(u.cipher_name, t.cipher_name);
+  EXPECT_EQ(u.random_delay_max, 4u);
+  ASSERT_EQ(u.cos.size(), 1u);
+  EXPECT_EQ(u.cos[0].start_sample, 1u);
+  EXPECT_EQ(u.cos[0].plaintext[0], 0xab);
+  EXPECT_EQ(u.cos[0].ciphertext[15], 0xcd);
+  std::remove(path.c_str());
+}
+
+TEST(TraceContainer, CoStartsAndMeanLength) {
+  Trace t;
+  t.cos.push_back({10, 110, {}, {}});
+  t.cos.push_back({200, 320, {}, {}});
+  EXPECT_EQ(t.co_starts(), (std::vector<std::size_t>{10, 200}));
+  EXPECT_DOUBLE_EQ(t.mean_co_length(), 110.0);
+  EXPECT_DOUBLE_EQ(Trace{}.mean_co_length(), 0.0);
+}
+
+}  // namespace
+}  // namespace scalocate::trace

@@ -5,10 +5,12 @@
 // e.g. SCALOCATE_SCALE=4 for a deeper run, =0.5 for a smoke run).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/locator.hpp"
 #include "core/metrics.hpp"
@@ -47,6 +49,52 @@ struct Timer {
         .count();
   }
 };
+
+/// Linear-interpolated percentile of a sample set; q in [0, 1]. Sorts a
+/// copy, so callers can pass their raw latency log.
+inline double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (q <= 0.0) return values.front();
+  if (q >= 1.0) return values.back();
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+/// Latency/throughput summary of one benchmark run (latencies in seconds
+/// in, milliseconds out). Shared by bench_service and available to every
+/// bench that measures per-item times.
+struct LatencySummary {
+  std::size_t count = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  double throughput_per_s = 0.0;  ///< items per wall-clock second
+};
+
+inline LatencySummary summarize_latencies(
+    const std::vector<double>& latencies_seconds, double wall_seconds) {
+  LatencySummary s;
+  s.count = latencies_seconds.size();
+  if (s.count == 0) return s;
+  double acc = 0.0;
+  double mx = 0.0;
+  for (double v : latencies_seconds) {
+    acc += v;
+    mx = std::max(mx, v);
+  }
+  s.mean_ms = 1e3 * acc / static_cast<double>(s.count);
+  s.max_ms = 1e3 * mx;
+  s.p50_ms = 1e3 * percentile(latencies_seconds, 0.50);
+  s.p99_ms = 1e3 * percentile(latencies_seconds, 0.99);
+  s.throughput_per_s =
+      wall_seconds > 0.0 ? static_cast<double>(s.count) / wall_seconds : 0.0;
+  return s;
+}
 
 /// Trains a locator for one (cipher, RD) pair on freshly acquired traces.
 struct TrainedSetup {

@@ -1,0 +1,107 @@
+// Concurrent serving benchmark for the runtime subsystem: traces/sec and
+// p50/p99 job latency of the LocatorService on the Table-2 workload
+// (AES-128 under RD-2) as the worker count grows, plus the streaming
+// locator's single-stream overhead vs the offline path.
+//
+// One model is trained once and shared read-only by every worker; each
+// worker owns only its activation workspace. On a machine with >= 4 cores
+// the 4-worker row should show close to 4x the 1-worker throughput (the
+// per-job latency stays roughly flat until workers exceed cores).
+//
+// SCALOCATE_SCALE scales the workload (0.25 = CI smoke run).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "runtime/locator_service.hpp"
+#include "runtime/streaming_locator.hpp"
+
+using namespace scalocate;
+
+int main() {
+  std::printf("== bench_service: concurrent locate throughput ==\n");
+  std::printf("scale=%.2f  hardware threads=%u\n\n", bench::scale(),
+              std::thread::hardware_concurrency());
+
+  bench::Timer setup_timer;
+  auto setup = bench::train_locator(crypto::CipherId::kAes128,
+                                    trace::RandomDelayConfig::kRd2, 0xbe5eed);
+  std::printf("trained in %.1f s (test accuracy %.3f)\n", setup_timer.seconds(),
+              setup.report.test_confusion.accuracy());
+
+  // Job pool: distinct eval traces so workers do not share cache lines.
+  const std::size_t n_traces = bench::scaled(8);
+  const std::size_t n_cos = bench::scaled(12);
+  std::vector<trace::Trace> traces;
+  traces.reserve(n_traces);
+  for (std::size_t i = 0; i < n_traces; ++i)
+    traces.push_back(trace::acquire_eval_trace(setup.scenario, n_cos,
+                                               setup.key, i % 2 == 1));
+  const std::size_t n_jobs = bench::scaled(32);
+
+  // Reference result per trace (sequential offline path).
+  std::vector<std::vector<std::size_t>> reference;
+  reference.reserve(traces.size());
+  for (const auto& t : traces)
+    reference.push_back(setup.locator.locate(t.samples));
+
+  std::printf("\n%-8s %12s %10s %10s %10s %9s\n", "workers", "traces/s",
+              "p50 ms", "p99 ms", "mean ms", "speedup");
+  double baseline_tput = 0.0;
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    runtime::LocatorService service(setup.locator, {.workers = workers});
+    std::vector<std::future<runtime::LocatorService::TimedResult>> futures;
+    futures.reserve(n_jobs);
+
+    bench::Timer wall;
+    for (std::size_t j = 0; j < n_jobs; ++j)
+      futures.push_back(
+          service.submit_timed(traces[j % traces.size()].samples));
+
+    std::vector<double> latencies;
+    latencies.reserve(n_jobs);
+    std::size_t mismatches = 0;
+    for (std::size_t j = 0; j < n_jobs; ++j) {
+      auto result = futures[j].get();
+      latencies.push_back(result.latency_seconds);
+      if (result.starts != reference[j % traces.size()]) ++mismatches;
+    }
+    const double elapsed = wall.seconds();
+
+    const auto s = bench::summarize_latencies(latencies, elapsed);
+    if (baseline_tput == 0.0) baseline_tput = s.throughput_per_s;
+    std::printf("%-8zu %12.2f %10.1f %10.1f %10.1f %8.2fx", workers,
+                s.throughput_per_s, s.p50_ms, s.p99_ms, s.mean_ms,
+                baseline_tput > 0.0 ? s.throughput_per_s / baseline_tput
+                                    : 0.0);
+    if (mismatches > 0)
+      std::printf("  [%zu MISMATCHED JOBS]", mismatches);
+    std::printf("\n");
+  }
+
+  // Streaming overhead: one stream fed in 4096-sample chunks vs the
+  // offline locate on the same trace.
+  const auto& probe = traces.front();
+  bench::Timer offline_timer;
+  const auto offline = setup.locator.locate(probe.samples);
+  const double offline_s = offline_timer.seconds();
+
+  runtime::StreamingLocator streaming(setup.locator);
+  bench::Timer stream_timer;
+  std::size_t streamed = 0;
+  const std::span<const float> samples(probe.samples);
+  for (std::size_t off = 0; off < samples.size(); off += 4096)
+    streamed += streaming
+                    .feed(samples.subspan(
+                        off, std::min<std::size_t>(4096, samples.size() - off)))
+                    .size();
+  streamed += streaming.finish().size();
+  const double stream_s = stream_timer.seconds();
+
+  std::printf(
+      "\nstreaming single trace: %.3f s vs offline %.3f s (%.2fx), "
+      "%zu detections (offline %zu), resident tail %zu of %zu samples\n",
+      stream_s, offline_s, offline_s > 0 ? stream_s / offline_s : 0.0,
+      streamed, offline.size(), streaming.resident_samples(),
+      probe.samples.size());
+  return 0;
+}

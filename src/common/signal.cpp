@@ -16,6 +16,20 @@ std::vector<float> threshold_square_wave(std::span<const float> xs,
   return out;
 }
 
+float median_of(std::span<const float> xs, std::vector<float>& scratch) {
+  detail::require(!xs.empty(), "signal::median_of: empty neighborhood");
+  scratch.assign(xs.begin(), xs.end());
+  const std::size_t mid = scratch.size() / 2;
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<std::ptrdiff_t>(mid),
+                   scratch.end());
+  if (scratch.size() % 2 == 1) return scratch[mid];
+  const float hi_v = scratch[mid];
+  const float lo_v = *std::max_element(
+      scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5f * (lo_v + hi_v);
+}
+
 std::vector<float> median_filter(std::span<const float> xs, std::size_t k) {
   detail::require(k >= 1 && k % 2 == 1,
                   "signal::median_filter: k must be odd and >= 1");
@@ -23,25 +37,12 @@ std::vector<float> median_filter(std::span<const float> xs, std::size_t k) {
   std::vector<float> out(n);
   if (n == 0) return out;
   const std::size_t half = k / 2;
-  std::vector<float> window;
-  window.reserve(k);
+  std::vector<float> scratch;
+  scratch.reserve(k);
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t lo = i >= half ? i - half : 0;
     const std::size_t hi = std::min(n - 1, i + half);
-    window.assign(xs.begin() + static_cast<std::ptrdiff_t>(lo),
-                  xs.begin() + static_cast<std::ptrdiff_t>(hi) + 1);
-    const std::size_t mid = window.size() / 2;
-    std::nth_element(window.begin(),
-                     window.begin() + static_cast<std::ptrdiff_t>(mid),
-                     window.end());
-    if (window.size() % 2 == 1) {
-      out[i] = window[mid];
-    } else {
-      const float hi_v = window[mid];
-      const float lo_v = *std::max_element(
-          window.begin(), window.begin() + static_cast<std::ptrdiff_t>(mid));
-      out[i] = 0.5f * (lo_v + hi_v);
-    }
+    out[i] = median_of(xs.subspan(lo, hi - lo + 1), scratch);
   }
   return out;
 }

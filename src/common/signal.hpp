@@ -18,6 +18,14 @@ namespace scalocate::signal {
 std::vector<float> threshold_square_wave(std::span<const float> xs,
                                          float threshold);
 
+/// Median of a (possibly even-sized) neighborhood, exactly as the sliding
+/// median filter computes it at borders: odd sizes take the middle order
+/// statistic, even sizes average the two middle ones. `scratch` is
+/// overwritten (kept as a parameter so hot loops can reuse the allocation).
+/// Exposed so the streaming runtime reproduces the offline filter
+/// bit-for-bit on truncated border windows.
+float median_of(std::span<const float> xs, std::vector<float>& scratch);
+
 /// Sliding median filter of odd window size k (Section III-D, "MF" block).
 /// Borders are handled by shrinking the window (median of the available
 /// neighbors), which keeps the output length equal to the input length.

@@ -56,14 +56,40 @@ void CoLocator::build_fine_template(const trace::CipherAcquisition& ciphers) {
   fine_template_ = signal::moving_average(fine_template_, 5);
 }
 
+std::size_t CoLocator::fine_search_radius() const {
+  return config_.fine_search_radius > 0
+             ? config_.fine_search_radius
+             : config_.params.n_inf + 4 * config_.params.stride;
+}
+
+SegmenterConfig CoLocator::segmenter_config() const {
+  SegmenterConfig seg_cfg;
+  seg_cfg.threshold = config_.params.threshold;
+  seg_cfg.median_filter_k = config_.params.median_filter_k;
+  seg_cfg.window_size = config_.params.n_inf;
+  seg_cfg.expected_co_length = static_cast<std::size_t>(mean_co_length_);
+  return seg_cfg;
+}
+
+std::size_t CoLocator::refine_in_region(std::span<const float> region,
+                                        std::size_t region_begin) const {
+  // Best normalized correlation of the template in the local search range.
+  // Both sides are lightly smoothed so the single-sample data-dependent
+  // term does not dominate the envelope match.
+  const auto region_s = signal::moving_average(region, 5);
+  const auto ncc = signal::normalized_cross_correlate(region_s, fine_template_);
+  if (ncc.empty()) return region_begin;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ncc.size(); ++i)
+    if (ncc[i] > ncc[best]) best = i;
+  return region_begin + best;
+}
+
 std::size_t CoLocator::refine_start(std::span<const float> trace_samples,
                                     std::size_t coarse_start) const {
   if (fine_template_.empty()) return coarse_start;
   const std::size_t len = fine_template_.size();
-  const std::ptrdiff_t radius = static_cast<std::ptrdiff_t>(
-      config_.fine_search_radius > 0
-          ? config_.fine_search_radius
-          : config_.params.n_inf + 4 * config_.params.stride);
+  const auto radius = static_cast<std::ptrdiff_t>(fine_search_radius());
   const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(
       0, static_cast<std::ptrdiff_t>(coarse_start) - radius);
   const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(
@@ -72,18 +98,9 @@ std::size_t CoLocator::refine_start(std::span<const float> trace_samples,
       static_cast<std::ptrdiff_t>(coarse_start) + radius);
   if (hi < lo) return coarse_start;
 
-  // Best normalized correlation of the template in the local search range.
-  // Both sides are lightly smoothed so the single-sample data-dependent
-  // term does not dominate the envelope match.
   const std::span<const float> region(trace_samples.data() + lo,
                                       static_cast<std::size_t>(hi - lo) + len);
-  const auto region_s = signal::moving_average(region, 5);
-  const auto ncc = signal::normalized_cross_correlate(region_s, fine_template_);
-  if (ncc.empty()) return coarse_start;
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < ncc.size(); ++i)
-    if (ncc[i] > ncc[best]) best = i;
-  return static_cast<std::size_t>(lo) + best;
+  return refine_in_region(region, static_cast<std::size_t>(lo));
 }
 
 namespace {
@@ -119,6 +136,7 @@ std::ptrdiff_t median_offset(const std::vector<std::size_t>& detections,
 void CoLocator::calibrate(const trace::CipherAcquisition& ciphers) {
   coarse_offset_ = 0;
   fine_offset_ = 0;
+  calibrated_threshold_ = std::numeric_limits<float>::quiet_NaN();
   // Build a calibration trace by concatenating profiling captures: their
   // true starts are the cumulative capture offsets.
   const std::size_t n_cal =
@@ -133,15 +151,12 @@ void CoLocator::calibrate(const trace::CipherAcquisition& ciphers) {
   }
 
   // Stage 1: raw rising edges (no correction).
+  nn::Workspace ws;
   SlidingWindowClassifier classifier(*model_, config_.params.n_inf,
                                      config_.params.stride);
-  const SlidingWindowResult swc = classifier.classify(cal_trace);
-  SegmenterConfig seg_cfg;
-  seg_cfg.threshold = config_.params.threshold;
-  seg_cfg.median_filter_k = config_.params.median_filter_k;
-  seg_cfg.window_size = config_.params.n_inf;
-  seg_cfg.expected_co_length = static_cast<std::size_t>(mean_co_length_);
-  const Segmentation seg = Segmenter(seg_cfg).segment(swc);
+  const SlidingWindowResult swc = classifier.classify(cal_trace, ws);
+  const Segmentation seg = Segmenter(segmenter_config()).segment(swc);
+  calibrated_threshold_ = seg.threshold_used;
 
   const auto half_co = static_cast<std::ptrdiff_t>(mean_co_length_ / 2.0);
   coarse_offset_ = median_offset(seg.co_starts, truth, half_co);
@@ -162,19 +177,13 @@ void CoLocator::calibrate(const trace::CipherAcquisition& ciphers) {
 }
 
 CoLocator::Located CoLocator::locate_detailed(
-    std::span<const float> trace_samples) {
+    std::span<const float> trace_samples, nn::Workspace& ws) const {
   detail::require(trained_, "CoLocator::locate: train() or load_model() first");
   Located out;
   SlidingWindowClassifier classifier(*model_, config_.params.n_inf,
                                      config_.params.stride);
-  out.swc = classifier.classify(trace_samples);
-
-  SegmenterConfig seg_cfg;
-  seg_cfg.threshold = config_.params.threshold;
-  seg_cfg.median_filter_k = config_.params.median_filter_k;
-  seg_cfg.window_size = config_.params.n_inf;
-  seg_cfg.expected_co_length = static_cast<std::size_t>(mean_co_length_);
-  out.segmentation = Segmenter(seg_cfg).segment(out.swc);
+  out.swc = classifier.classify(trace_samples, ws);
+  out.segmentation = Segmenter(segmenter_config()).segment(out.swc);
 
   out.co_starts.reserve(out.segmentation.co_starts.size());
   for (std::size_t raw : out.segmentation.co_starts) {
@@ -206,13 +215,25 @@ CoLocator::Located CoLocator::locate_detailed(
   return out;
 }
 
+CoLocator::Located CoLocator::locate_detailed(
+    std::span<const float> trace_samples) const {
+  nn::Workspace ws;
+  return locate_detailed(trace_samples, ws);
+}
+
+std::vector<std::size_t> CoLocator::locate(std::span<const float> trace_samples,
+                                           nn::Workspace& ws) const {
+  return locate_detailed(trace_samples, ws).co_starts;
+}
+
 std::vector<std::size_t> CoLocator::locate(
-    std::span<const float> trace_samples) {
-  return locate_detailed(trace_samples).co_starts;
+    std::span<const float> trace_samples) const {
+  nn::Workspace ws;
+  return locate(trace_samples, ws);
 }
 
 AlignedTraces CoLocator::locate_and_align(std::span<const float> trace_samples,
-                                          std::size_t segment_length) {
+                                          std::size_t segment_length) const {
   const auto starts = locate(trace_samples);
   return align_cos(trace_samples, starts, segment_length);
 }
@@ -223,6 +244,7 @@ void CoLocator::save_model(const std::string& path) const {
 
 void CoLocator::load_model(const std::string& path) {
   nn::load_module(*model_, path);
+  model_->set_training(false);
   trained_ = true;
 }
 

@@ -10,7 +10,11 @@
 // the CPA's "minor aggregation over time".
 //
 // Inference phase (Figure 1, right): sliding-window classification ->
-// segmentation -> alignment.
+// segmentation -> alignment. Inference is const and thread-safe: the model
+// is only read, and all per-call scratch lives in an nn::Workspace, so one
+// trained CoLocator can serve concurrent locate() calls (see
+// runtime/locator_service) or drive incremental detection (see
+// runtime/streaming_locator).
 #pragma once
 
 #include <memory>
@@ -59,7 +63,11 @@ class CoLocator {
                     const trace::Trace& noise);
 
   /// Locates CO starts in a new trace (offset-corrected sample indices).
-  std::vector<std::size_t> locate(std::span<const float> trace_samples);
+  /// Thread-safe on a trained locator when each caller passes its own
+  /// workspace.
+  std::vector<std::size_t> locate(std::span<const float> trace_samples,
+                                  nn::Workspace& ws) const;
+  std::vector<std::size_t> locate(std::span<const float> trace_samples) const;
 
   /// Full diagnostics: swc scores, square wave, filtered wave, raw starts.
   struct Located {
@@ -67,11 +75,13 @@ class CoLocator {
     Segmentation segmentation;
     std::vector<std::size_t> co_starts;  ///< offset-corrected
   };
-  Located locate_detailed(std::span<const float> trace_samples);
+  Located locate_detailed(std::span<const float> trace_samples,
+                          nn::Workspace& ws) const;
+  Located locate_detailed(std::span<const float> trace_samples) const;
 
   /// Locates and cuts aligned segments in one call.
   AlignedTraces locate_and_align(std::span<const float> trace_samples,
-                                 std::size_t segment_length);
+                                 std::size_t segment_length) const;
 
   /// Model persistence (architecture must match the config).
   void save_model(const std::string& path) const;
@@ -86,7 +96,35 @@ class CoLocator {
   std::ptrdiff_t fine_offset() const { return fine_offset_; }
   double mean_co_length() const { return mean_co_length_; }
   nn::Sequential& model() { return *model_; }
+  const nn::Sequential& model() const { return *model_; }
   const LocatorConfig& config() const { return config_; }
+
+  // --- hooks for the streaming runtime (runtime/streaming_locator) ---------
+
+  /// The segmenter configuration locate_detailed uses (threshold, median
+  /// filter size, expected CO length), derived from params + calibration.
+  SegmenterConfig segmenter_config() const;
+
+  /// Decision threshold measured on the calibration trace (Otsu). Only
+  /// meaningful after train(); NaN before. Streaming inference falls back
+  /// to this when the configured threshold is automatic (NaN), since Otsu
+  /// over a full trace is unavailable online.
+  float calibrated_threshold() const { return calibrated_threshold_; }
+
+  /// Fine-alignment template (empty when fine_align is off or training
+  /// produced no template).
+  std::span<const float> fine_template() const { return fine_template_; }
+
+  /// Effective fine-alignment search radius around a corrected start.
+  std::size_t fine_search_radius() const;
+
+  /// Template-snap core shared by the offline and streaming paths: `region`
+  /// holds the absolute trace samples [region_begin, region_begin +
+  /// region.size()) covering every candidate template placement
+  /// [lo, hi + template length); returns the absolute start with the best
+  /// normalized correlation. Requires a non-empty template.
+  std::size_t refine_in_region(std::span<const float> region,
+                               std::size_t region_begin) const;
 
  private:
   void calibrate(const trace::CipherAcquisition& ciphers);
@@ -104,6 +142,7 @@ class CoLocator {
   /// Stage-2 offset: median residual after template refinement.
   std::ptrdiff_t fine_offset_ = 0;
   double mean_co_length_ = 0.0;
+  float calibrated_threshold_ = std::numeric_limits<float>::quiet_NaN();
   std::vector<float> fine_template_;
 };
 

@@ -21,6 +21,21 @@ std::size_t Segmenter::auto_median_k(std::size_t plateau_windows) {
   return k;
 }
 
+std::size_t Segmenter::resolve_median_k(const SegmenterConfig& config,
+                                        std::size_t stride,
+                                        std::size_t window_from_swc) {
+  if (config.median_filter_k != 0) return config.median_filter_k;
+  const std::size_t window =
+      config.window_size > 0 ? config.window_size : window_from_swc;
+  // The high plateau spans the window offsets whose content matches the
+  // start distribution: roughly (window + start-motif)/stride positions,
+  // with the motif on the order of a twelfth of the CO.
+  const std::size_t span = window + config.expected_co_length / 12;
+  const std::size_t plateau =
+      stride > 0 ? std::max<std::size_t>(1, span / stride) : 4;
+  return auto_median_k(plateau);
+}
+
 float Segmenter::otsu_threshold(std::span<const float> scores) {
   detail::require(!scores.empty(), "otsu_threshold: empty scores");
   const float lo = stats::min_value(scores);
@@ -72,18 +87,7 @@ Segmentation Segmenter::segment(const SlidingWindowResult& swc) const {
   out.square_wave = signal::threshold_square_wave(swc.scores, threshold);
 
   // --- median filter (MF) --------------------------------------------------
-  std::size_t k = config_.median_filter_k;
-  if (k == 0) {
-    const std::size_t window =
-        config_.window_size > 0 ? config_.window_size : swc.window;
-    // The high plateau spans the window offsets whose content matches the
-    // start distribution: roughly (window + start-motif)/stride positions,
-    // with the motif on the order of a twelfth of the CO.
-    const std::size_t span = window + config_.expected_co_length / 12;
-    const std::size_t plateau =
-        swc.stride > 0 ? std::max<std::size_t>(1, span / swc.stride) : 4;
-    k = auto_median_k(plateau);
-  }
+  const std::size_t k = resolve_median_k(config_, swc.stride, swc.window);
   detail::require(k % 2 == 1, "Segmenter: median filter size must be odd");
   out.median_k_used = k;
   out.filtered = signal::median_filter(out.square_wave, k);

@@ -43,6 +43,13 @@ class Segmenter {
   /// windows): ~3/4 of the plateau, clamped to [3, 15].
   static std::size_t auto_median_k(std::size_t plateau_windows);
 
+  /// The concrete (odd) median-filter size `segment` will use for a config
+  /// and a stride/window pair: the configured size when set, the automatic
+  /// size otherwise. Exposed so the streaming runtime applies the identical
+  /// filter incrementally.
+  static std::size_t resolve_median_k(const SegmenterConfig& config,
+                                      std::size_t stride, std::size_t window);
+
   /// Otsu's threshold on a score distribution (256-bin histogram).
   static float otsu_threshold(std::span<const float> scores);
 

@@ -5,7 +5,7 @@
 
 namespace scalocate::core {
 
-SlidingWindowClassifier::SlidingWindowClassifier(nn::Sequential& model,
+SlidingWindowClassifier::SlidingWindowClassifier(const nn::Sequential& model,
                                                  std::size_t window,
                                                  std::size_t stride,
                                                  std::size_t batch_size)
@@ -14,10 +14,25 @@ SlidingWindowClassifier::SlidingWindowClassifier(nn::Sequential& model,
   detail::require(stride_ >= 1, "SlidingWindowClassifier: stride must be >= 1");
   detail::require(batch_size_ >= 1,
                   "SlidingWindowClassifier: batch_size must be >= 1");
+  detail::require(!model_.training(),
+                  "SlidingWindowClassifier: model must be in eval mode "
+                  "(call set_training(false) before classification)");
+}
+
+void SlidingWindowClassifier::score_batch(const nn::Tensor& inputs,
+                                          float* scores_out,
+                                          nn::Workspace& ws) const {
+  const std::size_t count = inputs.dim(0);
+  nn::Tensor logits = model_.forward(inputs, ws);
+  // Linear class-1 margin (logit1 - logit0): the pre-softmax pattern the
+  // paper exploits (Section III-C), expressed relative to class 0 so the
+  // natural decision boundary sits at 0 regardless of logit scale.
+  for (std::size_t i = 0; i < count; ++i)
+    scores_out[i] = logits.at(i, 1) - logits.at(i, 0);
 }
 
 SlidingWindowResult SlidingWindowClassifier::classify(
-    std::span<const float> trace_samples) const {
+    std::span<const float> trace_samples, nn::Workspace& ws) const {
   SlidingWindowResult result;
   result.stride = stride_;
   result.window = window_;
@@ -25,8 +40,6 @@ SlidingWindowResult SlidingWindowClassifier::classify(
 
   const std::size_t n_windows = (trace_samples.size() - window_) / stride_ + 1;
   result.scores.resize(n_windows);
-
-  model_.set_training(false);
 
   std::vector<float> window_buf(window_);
   for (std::size_t base = 0; base < n_windows; base += batch_size_) {
@@ -41,12 +54,7 @@ SlidingWindowResult SlidingWindowClassifier::classify(
       std::copy(window_buf.begin(), window_buf.end(),
                 inputs.data() + i * window_);
     }
-    nn::Tensor logits = model_.forward(inputs);
-    // Linear class-1 margin (logit1 - logit0): the pre-softmax pattern the
-    // paper exploits (Section III-C), expressed relative to class 0 so the
-    // natural decision boundary sits at 0 regardless of logit scale.
-    for (std::size_t i = 0; i < count; ++i)
-      result.scores[base + i] = logits.at(i, 1) - logits.at(i, 0);
+    score_batch(inputs, result.scores.data() + base, ws);
   }
   return result;
 }

@@ -5,6 +5,11 @@
 // signal swc is the *linear* (pre-softmax) class-1 score of the fully
 // connected block, where the recurrent localization pattern is stronger
 // than in the softmax probabilities.
+//
+// The classifier never mutates the model: it requires an eval-mode network
+// and routes every forward pass through a caller-owned (or per-classifier)
+// nn::Workspace, so one trained model can serve many concurrent
+// classifiers (see runtime/locator_service).
 #pragma once
 
 #include <vector>
@@ -25,18 +30,38 @@ struct SlidingWindowResult {
 
 class SlidingWindowClassifier {
  public:
-  /// `batch_size` windows are classified per forward pass.
-  SlidingWindowClassifier(nn::Sequential& model, std::size_t window,
+  /// `batch_size` windows are classified per forward pass. `model` must be
+  /// in eval mode (set_training(false)) and must outlive the classifier.
+  SlidingWindowClassifier(const nn::Sequential& model, std::size_t window,
                           std::size_t stride, std::size_t batch_size = 64);
 
-  /// Scores every window of `trace_samples`.
-  SlidingWindowResult classify(std::span<const float> trace_samples) const;
+  /// Scores every window of `trace_samples` using the given scratch
+  /// workspace. Thread-safe for concurrent calls with distinct workspaces.
+  SlidingWindowResult classify(std::span<const float> trace_samples,
+                               nn::Workspace& ws) const;
+
+  /// Convenience using the classifier's own workspace (not thread-safe
+  /// across concurrent calls on the same classifier instance).
+  SlidingWindowResult classify(std::span<const float> trace_samples) const {
+    return classify(trace_samples, scratch_);
+  }
+
+  /// Scores `count` pre-extracted, pre-standardized windows laid out
+  /// contiguously in `inputs` ([count, 1, window]). Used by the streaming
+  /// locator, which standardizes windows as they leave its ring buffer.
+  void score_batch(const nn::Tensor& inputs, float* scores_out,
+                   nn::Workspace& ws) const;
+
+  std::size_t window() const { return window_; }
+  std::size_t stride() const { return stride_; }
+  std::size_t batch_size() const { return batch_size_; }
 
  private:
-  nn::Sequential& model_;
+  const nn::Sequential& model_;
   std::size_t window_;
   std::size_t stride_;
   std::size_t batch_size_;
+  mutable nn::Workspace scratch_;
 };
 
 }  // namespace scalocate::core

@@ -19,6 +19,7 @@ std::pair<double, ConfusionMatrix> Trainer::evaluate(
   nn::DataLoader loader(data.windows, data.labels, params_.batch_size,
                         /*shuffle_seed=*/1, /*shuffle=*/false);
   nn::SoftmaxCrossEntropy loss_fn;
+  nn::Workspace ws;
   double loss_acc = 0.0;
   std::size_t batches = 0;
   ConfusionMatrix cm;
@@ -26,7 +27,7 @@ std::pair<double, ConfusionMatrix> Trainer::evaluate(
   nn::Batch batch;
   loader.start_epoch();
   while (loader.next(batch)) {
-    nn::Tensor logits = model.forward(batch.inputs);
+    nn::Tensor logits = model.forward(batch.inputs, ws);
     loss_acc += loss_fn.forward(logits, batch.labels);
     ++batches;
     for (std::size_t b = 0; b < batch.labels.size(); ++b) {
@@ -46,6 +47,7 @@ TrainReport Trainer::fit(nn::Sequential& model,
   nn::DataLoader loader(split.train.windows, split.train.labels,
                         params_.batch_size, seed_ ^ 0x7368756666ULL);
   nn::SoftmaxCrossEntropy loss_fn;
+  nn::Workspace ws;
   nn::Adam optimizer(model.params(), params_.learning_rate);
 
   TrainReport report;
@@ -60,9 +62,9 @@ TrainReport Trainer::fit(nn::Sequential& model,
     nn::Batch batch;
     while (loader.next(batch)) {
       optimizer.zero_grad();
-      nn::Tensor logits = model.forward(batch.inputs);
+      nn::Tensor logits = model.forward(batch.inputs, ws);
       train_loss_acc += loss_fn.forward(logits, batch.labels);
-      model.backward(loss_fn.backward());
+      model.backward(loss_fn.backward(), ws);
       optimizer.step();
       ++batches;
     }

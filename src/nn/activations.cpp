@@ -6,27 +6,36 @@
 
 namespace scalocate::nn {
 
-Tensor ReLU::forward(const Tensor& input) {
+Tensor ReLU::forward(const Tensor& input, Workspace& ws) const {
   Tensor out(input.shape());
-  cached_mask_ = Tensor(input.shape());
   const float* x = input.data();
   float* o = out.data();
-  float* m = cached_mask_.data();
-  for (std::size_t i = 0; i < input.numel(); ++i) {
-    const bool positive = x[i] > 0.0f;
-    o[i] = positive ? x[i] : 0.0f;
-    m[i] = positive ? 1.0f : 0.0f;
+  if (training_) {
+    Tensor& mask = ws.slot(this).a;
+    mask = Tensor(input.shape());
+    float* m = mask.data();
+    for (std::size_t i = 0; i < input.numel(); ++i) {
+      const bool positive = x[i] > 0.0f;
+      o[i] = positive ? x[i] : 0.0f;
+      m[i] = positive ? 1.0f : 0.0f;
+    }
+  } else {
+    // Backward-only mask skipped in eval mode (see Conv1d::forward).
+    ws.slot(this).a = Tensor();
+    for (std::size_t i = 0; i < input.numel(); ++i)
+      o[i] = x[i] > 0.0f ? x[i] : 0.0f;
   }
   return out;
 }
 
-Tensor ReLU::backward(const Tensor& grad_output) {
-  detail::require(cached_mask_.numel() > 0, "ReLU::backward before forward");
-  detail::require(grad_output.same_shape(cached_mask_),
+Tensor ReLU::backward(const Tensor& grad_output, Workspace& ws) {
+  const Tensor& mask = ws.slot(this).a;
+  detail::require(mask.numel() > 0, "ReLU::backward before forward");
+  detail::require(grad_output.same_shape(mask),
                   "ReLU::backward: grad shape mismatch");
   Tensor grad_input(grad_output.shape());
   const float* g = grad_output.data();
-  const float* m = cached_mask_.data();
+  const float* m = mask.data();
   float* gi = grad_input.data();
   for (std::size_t i = 0; i < grad_output.numel(); ++i) gi[i] = g[i] * m[i];
   return grad_input;

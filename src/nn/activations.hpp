@@ -8,12 +8,11 @@ namespace scalocate::nn {
 /// Rectified linear unit; shape-preserving for any rank.
 class ReLU final : public Layer {
  public:
-  Tensor forward(const Tensor& input) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::backward;
+  using Layer::forward;
+  Tensor forward(const Tensor& input, Workspace& ws) const override;
+  Tensor backward(const Tensor& grad_output, Workspace& ws) override;
   std::string name() const override { return "ReLU"; }
-
- private:
-  Tensor cached_mask_;  // 1 where input > 0
 };
 
 /// Row-wise softmax over the last axis of a [B, C] tensor. Not a Layer:

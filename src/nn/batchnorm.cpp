@@ -18,7 +18,7 @@ BatchNorm1d::BatchNorm1d(std::size_t channels, double eps, double momentum)
   gamma_.value.fill(1.0f);
 }
 
-Tensor BatchNorm1d::forward(const Tensor& input) {
+Tensor BatchNorm1d::forward(const Tensor& input, Workspace& ws) const {
   detail::require(input.rank() == 3 && input.dim(1) == channels_,
                   "BatchNorm1d::forward: expected [B, C, N], got " +
                       input.shape_string());
@@ -27,8 +27,14 @@ Tensor BatchNorm1d::forward(const Tensor& input) {
   const std::size_t count = batch * n;
 
   Tensor out(input.shape());
-  cached_normalized_ = Tensor(input.shape());
-  cached_inv_std_.assign(channels_, 0.0f);
+  // Unlike the stateless layers, the xhat cache is kept in eval mode too:
+  // eval-mode BatchNorm backward is part of the tested layer contract
+  // (statistics become constants but parameter gradients still need xhat).
+  Workspace::Slot& slot = ws.slot(this);
+  slot.a = Tensor(input.shape());  // normalized activations (xhat)
+  slot.scalars.assign(channels_, 0.0f);  // per-channel 1/std
+  Tensor& cached_normalized = slot.a;
+  std::vector<float>& cached_inv_std = slot.scalars;
 
   for (std::size_t c = 0; c < channels_; ++c) {
     double mean = 0.0;
@@ -57,12 +63,12 @@ Tensor BatchNorm1d::forward(const Tensor& input) {
     }
 
     const double inv_std = 1.0 / std::sqrt(var + eps_);
-    cached_inv_std_[c] = static_cast<float>(inv_std);
+    cached_inv_std[c] = static_cast<float>(inv_std);
     const float g = gamma_.value.at(c);
     const float be = beta_.value.at(c);
     for (std::size_t b = 0; b < batch; ++b) {
       const float* row = input.data() + (b * channels_ + c) * n;
-      float* nrow = cached_normalized_.data() + (b * channels_ + c) * n;
+      float* nrow = cached_normalized.data() + (b * channels_ + c) * n;
       float* orow = out.data() + (b * channels_ + c) * n;
       for (std::size_t i = 0; i < n; ++i) {
         const float xhat = static_cast<float>((row[i] - mean) * inv_std);
@@ -74,8 +80,9 @@ Tensor BatchNorm1d::forward(const Tensor& input) {
   return out;
 }
 
-Tensor BatchNorm1d::backward(const Tensor& grad_output) {
-  const Tensor& xhat = cached_normalized_;
+Tensor BatchNorm1d::backward(const Tensor& grad_output, Workspace& ws) {
+  Workspace::Slot& slot = ws.slot(this);
+  const Tensor& xhat = slot.a;
   detail::require(xhat.numel() > 0, "BatchNorm1d::backward before forward");
   detail::require(grad_output.same_shape(xhat),
                   "BatchNorm1d::backward: grad shape mismatch");
@@ -102,7 +109,7 @@ Tensor BatchNorm1d::backward(const Tensor& grad_output) {
     beta_.grad.at(c) += static_cast<float>(sum_g);
 
     const double g = gamma_.value.at(c);
-    const double inv_std = cached_inv_std_[c];
+    const double inv_std = slot.scalars[c];
     if (training_) {
       // dL/dx = gamma * inv_std * (g_i - mean(g) - xhat_i * mean(g*xhat))
       const double mean_g = sum_g / count;

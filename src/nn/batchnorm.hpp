@@ -14,8 +14,10 @@ class BatchNorm1d final : public Layer {
   explicit BatchNorm1d(std::size_t channels, double eps = 1e-5,
                        double momentum = 0.1);
 
-  Tensor forward(const Tensor& input) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::backward;
+  using Layer::forward;
+  Tensor forward(const Tensor& input, Workspace& ws) const override;
+  Tensor backward(const Tensor& grad_output, Workspace& ws) override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
   std::vector<std::vector<float>*> buffers() override {
     return {&running_mean_, &running_var_};
@@ -37,12 +39,11 @@ class BatchNorm1d final : public Layer {
   double momentum_;
   Param gamma_;
   Param beta_;
-  std::vector<float> running_mean_;
-  std::vector<float> running_var_;
-
-  // Caches for backward.
-  Tensor cached_normalized_;
-  std::vector<float> cached_inv_std_;
+  // Mutable: the running estimates are updated by training-mode forward
+  // passes (the one place forward touches layer state). Eval-mode forward
+  // only reads them, so sharing an eval model across threads stays safe.
+  mutable std::vector<float> running_mean_;
+  mutable std::vector<float> running_var_;
 };
 
 }  // namespace scalocate::nn

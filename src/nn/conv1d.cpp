@@ -31,11 +31,14 @@ std::size_t Conv1d::output_length(std::size_t n) const {
   return (n + pad_total - kernel_size_) / stride_ + 1;
 }
 
-Tensor Conv1d::forward(const Tensor& input) {
+Tensor Conv1d::forward(const Tensor& input, Workspace& ws) const {
   detail::require(input.rank() == 3 && input.dim(1) == in_channels_,
                   "Conv1d::forward: expected [B, Cin, N], got " +
                       input.shape_string());
-  cached_input_ = input;
+  // The input is retained only for backward; eval-mode forward (the serving
+  // hot path) skips the copy and leaves the slot empty so a stray backward
+  // fails loudly instead of using stale activations.
+  ws.slot(this).a = training_ ? input : Tensor();
 
   const std::size_t batch = input.dim(0);
   const std::size_t n = input.dim(2);
@@ -83,8 +86,8 @@ Tensor Conv1d::forward(const Tensor& input) {
   return out;
 }
 
-Tensor Conv1d::backward(const Tensor& grad_output) {
-  const Tensor& input = cached_input_;
+Tensor Conv1d::backward(const Tensor& grad_output, Workspace& ws) {
+  const Tensor& input = ws.slot(this).a;
   detail::require(input.numel() > 0, "Conv1d::backward before forward");
   const std::size_t batch = input.dim(0);
   const std::size_t n = input.dim(2);

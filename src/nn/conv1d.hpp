@@ -16,8 +16,10 @@ class Conv1d final : public Layer {
   Conv1d(std::size_t in_channels, std::size_t out_channels,
          std::size_t kernel_size, std::size_t stride = 1, int pad = -1);
 
-  Tensor forward(const Tensor& input) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::backward;
+  using Layer::forward;
+  Tensor forward(const Tensor& input, Workspace& ws) const override;
+  Tensor backward(const Tensor& grad_output, Workspace& ws) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::string name() const override;
 
@@ -38,7 +40,6 @@ class Conv1d final : public Layer {
   std::size_t pad_left_, pad_right_;
   Param weight_;
   Param bias_;
-  Tensor cached_input_;
 };
 
 }  // namespace scalocate::nn

@@ -21,17 +21,18 @@ GradCheckResult check_layer_gradients(Layer& layer, const Tensor& input,
                                       double epsilon, double tolerance,
                                       std::uint64_t seed) {
   Rng rng(seed);
+  Workspace ws;  // caller-owned activation cache pairing forward/backward
 
   // Fixed random output weighting defines a scalar loss L = sum(w * y).
-  Tensor probe_out = layer.forward(input);
+  Tensor probe_out = layer.forward(input, ws);
   std::vector<float> out_weights(probe_out.numel());
   for (auto& w : out_weights) w = static_cast<float>(rng.uniform(-1.0, 1.0));
 
   // Analytic gradients.
   for (Param* p : layer.params()) p->zero_grad();
-  Tensor out = layer.forward(input);
+  Tensor out = layer.forward(input, ws);
   Tensor grad_out = Tensor::from_data(out.shape(), out_weights);
-  Tensor grad_in = layer.backward(grad_out);
+  Tensor grad_in = layer.backward(grad_out, ws);
 
   GradCheckResult result;
   const auto update = [&](double analytic, double numeric) {
@@ -47,9 +48,9 @@ GradCheckResult check_layer_gradients(Layer& layer, const Tensor& input,
   for (std::size_t i = 0; i < x.numel(); ++i) {
     const float orig = x.at(i);
     x.at(i) = static_cast<float>(orig + epsilon);
-    const double plus = weighted_sum(layer.forward(x), out_weights);
+    const double plus = weighted_sum(layer.forward(x, ws), out_weights);
     x.at(i) = static_cast<float>(orig - epsilon);
-    const double minus = weighted_sum(layer.forward(x), out_weights);
+    const double minus = weighted_sum(layer.forward(x, ws), out_weights);
     x.at(i) = orig;
     update(grad_in.at(i), (plus - minus) / (2.0 * epsilon));
   }
@@ -59,9 +60,9 @@ GradCheckResult check_layer_gradients(Layer& layer, const Tensor& input,
     for (std::size_t i = 0; i < p->value.numel(); ++i) {
       const float orig = p->value.at(i);
       p->value.at(i) = static_cast<float>(orig + epsilon);
-      const double plus = weighted_sum(layer.forward(input), out_weights);
+      const double plus = weighted_sum(layer.forward(input, ws), out_weights);
       p->value.at(i) = static_cast<float>(orig - epsilon);
-      const double minus = weighted_sum(layer.forward(input), out_weights);
+      const double minus = weighted_sum(layer.forward(input, ws), out_weights);
       p->value.at(i) = orig;
       update(p->grad.at(i), (plus - minus) / (2.0 * epsilon));
     }

@@ -1,8 +1,17 @@
 // Layer interface of the explicit forward/backward NN framework.
+//
+// Forward passes are const and write every retained activation into a
+// caller-owned Workspace instead of layer members. A trained model can
+// therefore be shared across threads: each concurrent caller owns a private
+// Workspace and runs eval-mode forward passes on the same layers without
+// synchronization (the runtime/ LocatorService relies on this). backward
+// reads the caches the paired forward left in the same workspace, so
+// callers must pass one workspace per in-flight forward/backward pair.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "nn/tensor.hpp"
@@ -21,19 +30,56 @@ struct Param {
   void zero_grad() { grad.fill(0.0f); }
 };
 
-/// Base class of all layers/modules. A layer caches whatever it needs from
-/// forward so that the next backward call can compute input gradients;
-/// callers must pair forward/backward on the same batch.
+class Layer;
+
+/// Caller-owned scratch holding the per-layer activations a backward pass
+/// needs. Slots are keyed by layer identity, so a single workspace serves a
+/// whole module tree (Sequential/Residual children included). Reusing one
+/// workspace across calls avoids reallocation; it is NOT safe to share one
+/// workspace between concurrent forward passes.
+class Workspace {
+ public:
+  struct Slot {
+    Tensor a;                        ///< primary cache (input / mask / xhat)
+    std::vector<float> scalars;      ///< per-channel scalars (batch norm)
+    std::vector<std::size_t> shape;  ///< cached input shape (pooling)
+  };
+
+  Slot& slot(const Layer* layer) { return slots_[layer]; }
+  void clear() { slots_.clear(); }
+
+ private:
+  std::unordered_map<const Layer*, Slot> slots_;
+};
+
+/// Base class of all layers/modules. Forward is const: it may read
+/// parameters and mode flags but retains activations only inside the
+/// caller's Workspace. The single exception is BatchNorm1d's running
+/// statistics, which are updated in training mode only (training-mode
+/// forward passes are therefore not thread-safe; eval-mode passes are).
+///
+/// In eval mode the stateless layers skip their backward-only caches
+/// entirely (no input copies on the serving path) and clear the slot, so
+/// backward after an eval-mode forward throws. BatchNorm1d still caches in
+/// eval mode: its eval-mode backward is part of the tested contract.
 class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Computes outputs for a batch.
-  virtual Tensor forward(const Tensor& input) = 0;
+  /// Computes outputs for a batch, caching into `ws` what backward needs.
+  virtual Tensor forward(const Tensor& input, Workspace& ws) const = 0;
 
-  /// Given dLoss/dOutput, accumulates parameter gradients and returns
-  /// dLoss/dInput.
-  virtual Tensor backward(const Tensor& grad_output) = 0;
+  /// Given dLoss/dOutput and the workspace of the paired forward,
+  /// accumulates parameter gradients and returns dLoss/dInput.
+  virtual Tensor backward(const Tensor& grad_output, Workspace& ws) = 0;
+
+  /// Single-threaded convenience (training loops, tests): routes through an
+  /// internal workspace. Not thread-safe; concurrent callers must use the
+  /// explicit-workspace overloads.
+  Tensor forward(const Tensor& input) { return forward(input, scratch_); }
+  Tensor backward(const Tensor& grad_output) {
+    return backward(grad_output, scratch_);
+  }
 
   /// Trainable parameters (empty for stateless layers).
   virtual std::vector<Param*> params() { return {}; }
@@ -51,6 +97,9 @@ class Layer {
 
  protected:
   bool training_ = true;
+
+ private:
+  Workspace scratch_;
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

@@ -15,12 +15,13 @@ Linear::Linear(std::size_t in_features, std::size_t out_features)
                   "Linear: invalid configuration");
 }
 
-Tensor Linear::forward(const Tensor& input) {
+Tensor Linear::forward(const Tensor& input, Workspace& ws) const {
   detail::require(input.rank() == 2 && input.dim(1) == in_features_,
                   "Linear::forward: expected [B, " +
                       std::to_string(in_features_) + "], got " +
                       input.shape_string());
-  cached_input_ = input;
+  // Backward-only cache: skipped in eval mode (see Conv1d::forward).
+  ws.slot(this).a = training_ ? input : Tensor();
   const std::size_t batch = input.dim(0);
   Tensor out({batch, out_features_});
   const float* w = weight_.value.data();
@@ -38,8 +39,8 @@ Tensor Linear::forward(const Tensor& input) {
   return out;
 }
 
-Tensor Linear::backward(const Tensor& grad_output) {
-  const Tensor& input = cached_input_;
+Tensor Linear::backward(const Tensor& grad_output, Workspace& ws) {
+  const Tensor& input = ws.slot(this).a;
   detail::require(input.numel() > 0, "Linear::backward before forward");
   const std::size_t batch = input.dim(0);
   detail::require(grad_output.rank() == 2 && grad_output.dim(0) == batch &&

@@ -9,8 +9,10 @@ class Linear final : public Layer {
  public:
   Linear(std::size_t in_features, std::size_t out_features);
 
-  Tensor forward(const Tensor& input) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::backward;
+  using Layer::forward;
+  Tensor forward(const Tensor& input, Workspace& ws) const override;
+  Tensor backward(const Tensor& grad_output, Workspace& ws) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::string name() const override;
 
@@ -23,7 +25,6 @@ class Linear final : public Layer {
   std::size_t in_features_, out_features_;
   Param weight_;  // [F_out, F_in]
   Param bias_;    // [F_out]
-  Tensor cached_input_;
 };
 
 }  // namespace scalocate::nn

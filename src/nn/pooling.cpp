@@ -4,11 +4,12 @@
 
 namespace scalocate::nn {
 
-Tensor GlobalAvgPool1d::forward(const Tensor& input) {
+Tensor GlobalAvgPool1d::forward(const Tensor& input, Workspace& ws) const {
   detail::require(input.rank() == 3,
                   "GlobalAvgPool1d::forward: expected [B, C, N], got " +
                       input.shape_string());
-  cached_input_shape_ = input.shape();
+  // Backward-only cache: skipped in eval mode (see Conv1d::forward).
+  ws.slot(this).shape = training_ ? input.shape() : std::vector<std::size_t>{};
   const std::size_t batch = input.dim(0);
   const std::size_t channels = input.dim(1);
   const std::size_t n = input.dim(2);
@@ -27,17 +28,18 @@ Tensor GlobalAvgPool1d::forward(const Tensor& input) {
   return out;
 }
 
-Tensor GlobalAvgPool1d::backward(const Tensor& grad_output) {
-  detail::require(!cached_input_shape_.empty(),
+Tensor GlobalAvgPool1d::backward(const Tensor& grad_output, Workspace& ws) {
+  const std::vector<std::size_t>& in_shape = ws.slot(this).shape;
+  detail::require(!in_shape.empty(),
                   "GlobalAvgPool1d::backward before forward");
-  const std::size_t batch = cached_input_shape_[0];
-  const std::size_t channels = cached_input_shape_[1];
-  const std::size_t n = cached_input_shape_[2];
+  const std::size_t batch = in_shape[0];
+  const std::size_t channels = in_shape[1];
+  const std::size_t n = in_shape[2];
   detail::require(grad_output.rank() == 2 && grad_output.dim(0) == batch &&
                       grad_output.dim(1) == channels,
                   "GlobalAvgPool1d::backward: grad shape mismatch");
 
-  Tensor grad_input(cached_input_shape_);
+  Tensor grad_input(in_shape);
   const float inv_n = 1.0f / static_cast<float>(n);
   for (std::size_t b = 0; b < batch; ++b) {
     for (std::size_t c = 0; c < channels; ++c) {

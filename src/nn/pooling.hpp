@@ -11,12 +11,11 @@ namespace scalocate::nn {
 
 class GlobalAvgPool1d final : public Layer {
  public:
-  Tensor forward(const Tensor& input) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::backward;
+  using Layer::forward;
+  Tensor forward(const Tensor& input, Workspace& ws) const override;
+  Tensor backward(const Tensor& grad_output, Workspace& ws) override;
   std::string name() const override { return "GlobalAvgPool1d"; }
-
- private:
-  std::vector<std::size_t> cached_input_shape_;
 };
 
 }  // namespace scalocate::nn

@@ -12,16 +12,16 @@ Sequential& Sequential::add(LayerPtr layer) {
   return *this;
 }
 
-Tensor Sequential::forward(const Tensor& input) {
+Tensor Sequential::forward(const Tensor& input, Workspace& ws) const {
   Tensor x = input;
-  for (auto& layer : layers_) x = layer->forward(x);
+  for (const auto& layer : layers_) x = layer->forward(x, ws);
   return x;
 }
 
-Tensor Sequential::backward(const Tensor& grad_output) {
+Tensor Sequential::backward(const Tensor& grad_output, Workspace& ws) {
   Tensor g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-    g = (*it)->backward(g);
+    g = (*it)->backward(g, ws);
   return g;
 }
 
@@ -56,10 +56,10 @@ Residual::Residual(LayerPtr main, LayerPtr projection)
   detail::require(main_ != nullptr, "Residual: null main branch");
 }
 
-Tensor Residual::forward(const Tensor& input) {
-  Tensor main_out = main_->forward(input);
+Tensor Residual::forward(const Tensor& input, Workspace& ws) const {
+  Tensor main_out = main_->forward(input, ws);
   Tensor shortcut =
-      projection_ != nullptr ? projection_->forward(input) : input;
+      projection_ != nullptr ? projection_->forward(input, ws) : input;
   detail::require(main_out.same_shape(shortcut),
                   "Residual::forward: branch shapes differ: " +
                       main_out.shape_string() + " vs " +
@@ -70,10 +70,10 @@ Tensor Residual::forward(const Tensor& input) {
   return main_out;
 }
 
-Tensor Residual::backward(const Tensor& grad_output) {
-  Tensor grad_main = main_->backward(grad_output);
+Tensor Residual::backward(const Tensor& grad_output, Workspace& ws) {
+  Tensor grad_main = main_->backward(grad_output, ws);
   if (projection_ != nullptr) {
-    Tensor grad_proj = projection_->backward(grad_output);
+    Tensor grad_proj = projection_->backward(grad_output, ws);
     float* g = grad_main.data();
     const float* p = grad_proj.data();
     for (std::size_t i = 0; i < grad_main.numel(); ++i) g[i] += p[i];

@@ -25,8 +25,10 @@ class Sequential : public Layer {
     return add(std::make_unique<L>(std::forward<Args>(args)...));
   }
 
-  Tensor forward(const Tensor& input) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::backward;
+  using Layer::forward;
+  Tensor forward(const Tensor& input, Workspace& ws) const override;
+  Tensor backward(const Tensor& grad_output, Workspace& ws) override;
   std::vector<Param*> params() override;
   std::vector<std::vector<float>*> buffers() override;
   void set_training(bool training) override;
@@ -50,8 +52,10 @@ class Residual final : public Layer {
   /// otherwise the shortcut is the identity.
   Residual(LayerPtr main, LayerPtr projection = nullptr);
 
-  Tensor forward(const Tensor& input) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::backward;
+  using Layer::forward;
+  Tensor forward(const Tensor& input, Workspace& ws) const override;
+  Tensor backward(const Tensor& grad_output, Workspace& ws) override;
   std::vector<Param*> params() override;
   std::vector<std::vector<float>*> buffers() override;
   void set_training(bool training) override;

@@ -1,0 +1,77 @@
+#include "runtime/locator_service.hpp"
+
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace scalocate::runtime {
+
+namespace {
+
+std::size_t resolve_workers(std::size_t configured) {
+  if (configured > 0) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// Counts the job as completed even when locate() throws (the exception
+/// still propagates through the future), so jobs_completed() always
+/// converges to jobs_submitted() once the service is idle.
+struct CompletionGuard {
+  std::atomic<std::size_t>& counter;
+  ~CompletionGuard() { ++counter; }
+};
+
+}  // namespace
+
+LocatorService::LocatorService(const core::CoLocator& locator,
+                               ServiceConfig config)
+    : locator_(locator),
+      scratch_(resolve_workers(config.workers)),
+      pool_(resolve_workers(config.workers)) {
+  detail::require(locator_.is_trained(),
+                  "LocatorService: locator must be trained");
+}
+
+LocatorService::~LocatorService() { drain(); }
+
+void LocatorService::drain() { pool_.wait_idle(); }
+
+std::future<std::vector<std::size_t>> LocatorService::submit(
+    std::vector<float> trace) {
+  ++submitted_;
+  auto owned = std::make_shared<std::vector<float>>(std::move(trace));
+  return pool_.submit(
+      [this, owned](std::size_t worker) -> std::vector<std::size_t> {
+        CompletionGuard done{completed_};
+        return locator_.locate(*owned, scratch_[worker]);
+      });
+}
+
+std::future<std::vector<std::size_t>> LocatorService::submit_view(
+    std::span<const float> trace) {
+  ++submitted_;
+  return pool_.submit(
+      [this, trace](std::size_t worker) -> std::vector<std::size_t> {
+        CompletionGuard done{completed_};
+        return locator_.locate(trace, scratch_[worker]);
+      });
+}
+
+std::future<LocatorService::TimedResult> LocatorService::submit_timed(
+    std::span<const float> trace) {
+  ++submitted_;
+  const auto enqueued = std::chrono::steady_clock::now();
+  return pool_.submit([this, trace, enqueued](std::size_t worker) {
+    CompletionGuard done{completed_};
+    TimedResult result;
+    result.starts = locator_.locate(trace, scratch_[worker]);
+    result.latency_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      enqueued)
+            .count();
+    return result;
+  });
+}
+
+}  // namespace scalocate::runtime

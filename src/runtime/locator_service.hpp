@@ -1,0 +1,69 @@
+// LocatorService: concurrent CO localization over one shared model.
+//
+// Accepts whole-trace locate jobs and multiplexes them across a ThreadPool.
+// All workers share the service's trained CoLocator — the nn refactor made
+// eval-mode forward passes const, so the model is never copied — while each
+// worker owns a private nn::Workspace holding its activation scratch.
+// Results come back as futures; exceptions inside a job propagate through
+// the future.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/locator.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace scalocate::runtime {
+
+struct ServiceConfig {
+  /// Worker threads. 0 = hardware concurrency (at least 1).
+  std::size_t workers = 0;
+};
+
+class LocatorService {
+ public:
+  /// `locator` must be trained and outlive the service.
+  explicit LocatorService(const core::CoLocator& locator,
+                          ServiceConfig config = {});
+  ~LocatorService();  ///< Blocks until in-flight jobs finish.
+
+  LocatorService(const LocatorService&) = delete;
+  LocatorService& operator=(const LocatorService&) = delete;
+
+  /// Enqueues a locate job; the trace is moved into the job.
+  std::future<std::vector<std::size_t>> submit(std::vector<float> trace);
+
+  /// Enqueues a locate job over caller-owned samples. The caller must keep
+  /// the memory alive until the future resolves; no copy is made.
+  std::future<std::vector<std::size_t>> submit_view(
+      std::span<const float> trace);
+
+  /// Like submit_view, but also reports the job's end-to-end latency
+  /// (enqueue to completion, queueing included) — the number a serving
+  /// deployment actually observes. Used by bench_service.
+  struct TimedResult {
+    std::vector<std::size_t> starts;
+    double latency_seconds = 0.0;
+  };
+  std::future<TimedResult> submit_timed(std::span<const float> trace);
+
+  /// Blocks until every submitted job has completed.
+  void drain();
+
+  std::size_t worker_count() const { return pool_.worker_count(); }
+  std::size_t jobs_completed() const { return completed_.load(); }
+  std::size_t jobs_submitted() const { return submitted_.load(); }
+
+ private:
+  const core::CoLocator& locator_;
+  std::vector<nn::Workspace> scratch_;  ///< one per worker, index-addressed
+  ThreadPool pool_;
+  std::atomic<std::size_t> submitted_{0};
+  std::atomic<std::size_t> completed_{0};
+};
+
+}  // namespace scalocate::runtime

@@ -1,0 +1,71 @@
+// Absolute-indexed sample ring for streaming inference.
+//
+// A trace arrives as arbitrary-size chunks; the consumers (window scorer,
+// fine-alignment snap) address samples by their absolute position in the
+// stream. The ring keeps a bounded tail of the stream in one contiguous
+// block so consumers can take std::span views, and compacts lazily: the
+// erase-front cost is amortized by only compacting once the dead prefix
+// exceeds the live tail.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace scalocate::runtime {
+
+class SampleRing {
+ public:
+  SampleRing() = default;
+
+  /// Appends a chunk; the new samples get absolute indices
+  /// [size() - chunk.size(), size()).
+  void append(std::span<const float> chunk) {
+    buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+  }
+
+  /// Total samples ever appended (the stream length so far).
+  std::size_t size() const { return base_ + buf_.size(); }
+
+  /// Oldest absolute index still resident.
+  std::size_t oldest() const { return base_; }
+
+  /// Contiguous view of absolute samples [begin, begin + count). The span
+  /// is invalidated by the next append/discard_below call.
+  std::span<const float> view(std::size_t begin, std::size_t count) const {
+    detail::require(begin >= base_,
+                    "SampleRing::view: samples already discarded");
+    detail::require(begin + count <= size(),
+                    "SampleRing::view: samples not yet received");
+    return {buf_.data() + (begin - base_), count};
+  }
+
+  /// Releases every sample below the absolute index `keep_from` (which may
+  /// not exceed size()). Memory is reclaimed lazily: compaction happens
+  /// only once the dead prefix dominates the live tail, so the amortized
+  /// per-sample cost is O(1).
+  void discard_below(std::size_t keep_from) {
+    if (keep_from <= base_) return;
+    detail::require(keep_from <= size(),
+                    "SampleRing::discard_below: beyond stream head");
+    const std::size_t dead = keep_from - base_;
+    if (dead >= buf_.size() / 2 && dead > 4096) {
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(dead));
+      base_ += dead;
+    }
+  }
+
+  void reset() {
+    buf_.clear();
+    base_ = 0;
+  }
+
+ private:
+  std::vector<float> buf_;
+  std::size_t base_ = 0;  ///< absolute index of buf_[0]
+};
+
+}  // namespace scalocate::runtime

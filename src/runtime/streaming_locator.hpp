@@ -1,0 +1,134 @@
+// StreamingLocator: push-based, bounded-memory CO localization.
+//
+// The offline CoLocator needs the whole trace in memory before it can
+// score a single window. This runtime ingests the trace as arbitrary-size
+// chunks (feed), keeps only a bounded tail of samples in a ring buffer,
+// and carries every pipeline stage across chunk boundaries:
+//
+//   samples -> [ring] -> sliding CNN scores -> threshold square wave
+//           -> incremental median filter -> rising edges
+//           -> offset correction + fine template alignment -> detections
+//
+// Detections are emitted online, as soon as no future sample can change
+// them, and are *identical* to CoLocator::locate on the concatenated
+// stream (the parity is tested for chunk sizes from < one window up to the
+// full trace). Two consequences of going online:
+//
+//   - the decision threshold must be fixed up front: Otsu over the whole
+//     trace's score distribution is unavailable mid-stream, so automatic
+//     (NaN) thresholds fall back to the one measured on the calibration
+//     trace during training (CoLocator::calibrated_threshold);
+//   - detections lag the stream head by the median-filter half-width plus
+//     the fine-alignment search radius (a few hundred samples), the price
+//     of emitting exactly what the offline pipeline would.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/locator.hpp"
+#include "runtime/ring_buffer.hpp"
+
+namespace scalocate::runtime {
+
+/// One located CO, emitted online.
+struct Detection {
+  std::size_t start = 0;     ///< offset-corrected, fine-aligned CO start
+  std::size_t raw_edge = 0;  ///< uncorrected rising-edge sample (diagnostic)
+};
+
+struct StreamingConfig {
+  /// Windows scored per CNN forward pass.
+  std::size_t batch_size = 64;
+  /// Decision threshold override. NaN = inherit: the locator's configured
+  /// threshold when fixed, otherwise its calibration-trace Otsu threshold.
+  float threshold = std::numeric_limits<float>::quiet_NaN();
+};
+
+class StreamingLocator {
+ public:
+  /// `locator` must be trained and outlive this object; its model is
+  /// shared, never copied. Each StreamingLocator owns its scratch
+  /// workspace, so independent instances may run on separate threads
+  /// against the same locator.
+  explicit StreamingLocator(const core::CoLocator& locator,
+                            StreamingConfig config = {});
+
+  /// Pushes a chunk of samples; returns every detection that became final.
+  std::vector<Detection> feed(std::span<const float> chunk);
+
+  /// Marks end-of-stream and flushes the remaining detections. feed() is
+  /// invalid afterwards until reset().
+  std::vector<Detection> finish();
+
+  /// Forgets all stream state (keeps the model/config) for a new trace.
+  void reset();
+
+  /// Total samples fed so far.
+  std::size_t samples_consumed() const { return ring_.size(); }
+  /// Windows scored so far.
+  std::size_t windows_scored() const { return next_window_; }
+  /// Samples currently resident in the ring (bounded-memory check).
+  std::size_t resident_samples() const {
+    return ring_.size() - ring_.oldest();
+  }
+  float threshold() const { return threshold_; }
+  std::size_t median_k() const { return median_k_; }
+  bool finished() const { return finished_; }
+
+ private:
+  struct Pending {
+    std::size_t final_start;
+    std::size_t raw_edge;
+  };
+
+  void pump(bool eof, std::vector<Detection>& out);
+  void score_ready_windows();
+  void emit_filtered(bool eof);
+  void on_filtered_value(std::size_t index, float value);
+  void refine_ready_edges(bool eof);
+  void release_pending(bool eof, std::vector<Detection>& out);
+  void trim_ring();
+  std::int64_t future_lower_bound(std::int64_t raw_sample) const;
+
+  const core::CoLocator& locator_;
+  core::SlidingWindowClassifier classifier_;
+  nn::Workspace ws_;
+
+  // Pipeline constants resolved at construction.
+  std::size_t window_ = 0;
+  std::size_t stride_ = 1;
+  std::size_t batch_size_ = 64;
+  float threshold_ = 0.0f;
+  std::size_t median_k_ = 3;
+  std::size_t half_ = 1;  ///< median_k_ / 2
+  std::int64_t coarse_ = 0;
+  std::int64_t fine_ = 0;
+  bool fine_align_ = false;     ///< config flag (drives the fine_ stage)
+  std::size_t tmpl_len_ = 0;    ///< 0 = no template snap
+  std::size_t radius_ = 0;
+  bool dedup_ = false;
+  std::size_t min_gap_ = 0;
+
+  // Stream state.
+  SampleRing ring_;
+  std::size_t next_window_ = 0;   ///< next window index to score
+  std::deque<float> square_;      ///< square wave tail, starts at sq_base_
+  std::size_t sq_base_ = 0;       ///< window index of square_[0]
+  std::size_t filt_next_ = 0;     ///< next median-filter index to emit
+  float prev_filt_ = 0.0f;        ///< filtered[filt_next_ - 1]
+  std::deque<std::size_t> raw_edges_;  ///< unrefined edges (sample indices)
+  std::vector<Pending> pending_;       ///< refined, sorted by final_start
+  std::optional<std::size_t> last_kept_;  ///< dedup state
+  bool finished_ = false;
+
+  // Reused scratch.
+  std::vector<float> window_buf_;
+  std::vector<float> median_scratch_;
+  std::vector<float> neighborhood_;
+};
+
+}  // namespace scalocate::runtime

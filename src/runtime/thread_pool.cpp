@@ -1,0 +1,68 @@
+#include "runtime/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace scalocate::runtime {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  detail::require(workers >= 1, "ThreadPool: need at least one worker");
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::post(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    detail::require(!stopping_, "ThreadPool::post after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      task(index);
+    } catch (...) {
+      // submit() routes exceptions into the future via packaged_task; a
+      // bare post() task that throws must not take down the worker (or the
+      // process), and active_ must still be released for wait_idle().
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace scalocate::runtime

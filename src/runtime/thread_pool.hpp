@@ -1,0 +1,69 @@
+// Fixed-size worker pool over a mutex-guarded MPMC task queue.
+//
+// Tasks receive the executing worker's index, which is how the
+// LocatorService hands each worker a private scratch workspace while every
+// worker shares one read-only model. submit() wraps a callable into a
+// std::future for callers that want the result; post() is the
+// fire-and-forget path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scalocate::runtime {
+
+class ThreadPool {
+ public:
+  /// A task is invoked with the worker index in [0, worker_count()).
+  using Task = std::function<void(std::size_t)>;
+
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();  ///< Runs every queued task to completion, then joins
+                  ///< (futures from submit() never dangle).
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a fire-and-forget task. Exceptions escaping the task are
+  /// swallowed (use submit() to observe them through a future).
+  void post(Task task);
+
+  /// Enqueues `fn(worker_index)` and returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn)
+      -> std::future<std::invoke_result_t<F&, std::size_t>> {
+    using R = std::invoke_result_t<F&, std::size_t>;
+    auto task = std::make_shared<std::packaged_task<R(std::size_t)>>(
+        std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    post([task](std::size_t worker) { (*task)(worker); });
+    return future;
+  }
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Tasks enqueued but not yet started (diagnostic).
+  std::size_t pending() const;
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+ private:
+  void worker_loop(std::size_t index);
+
+  std::vector<std::thread> workers_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<Task> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace scalocate::runtime

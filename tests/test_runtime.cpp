@@ -1,0 +1,272 @@
+// Runtime subsystem tests: SampleRing / ThreadPool units, streaming-vs-
+// offline parity across chunk sizes (including chunk < window), and a
+// LocatorService smoke test running many concurrent jobs against one
+// shared model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "core/locator.hpp"
+#include "runtime/locator_service.hpp"
+#include "runtime/ring_buffer.hpp"
+#include "runtime/streaming_locator.hpp"
+#include "runtime/thread_pool.hpp"
+#include "trace/scenario.hpp"
+
+namespace scalocate {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SampleRing
+// ---------------------------------------------------------------------------
+
+TEST(SampleRing, AbsoluteIndexingSurvivesDiscards) {
+  runtime::SampleRing ring;
+  std::vector<float> data(20000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<float>(i);
+  // Feed in uneven chunks.
+  ring.append(std::span<const float>(data.data(), 7000));
+  ring.append(std::span<const float>(data.data() + 7000, 13000));
+  EXPECT_EQ(ring.size(), 20000u);
+
+  ring.discard_below(12000);
+  EXPECT_LE(ring.oldest(), 12000u);
+  const auto view = ring.view(12000, 100);
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_FLOAT_EQ(view[i], static_cast<float>(12000 + i));
+
+  // Discarded samples are gone once compaction ran past them.
+  if (ring.oldest() > 0)
+    EXPECT_THROW(ring.view(0, 10), Error);
+  // Future samples are never readable.
+  EXPECT_THROW(ring.view(19990, 20), Error);
+}
+
+TEST(SampleRing, DiscardIsMonotonicAndBounded) {
+  runtime::SampleRing ring;
+  std::vector<float> chunk(4096, 1.0f);
+  for (int i = 0; i < 64; ++i) {
+    ring.append(chunk);
+    ring.discard_below(ring.size() > 8192 ? ring.size() - 8192 : 0);
+  }
+  EXPECT_EQ(ring.size(), 64u * 4096u);
+  // Lazy compaction keeps at most ~2x the live tail resident.
+  EXPECT_LE(ring.size() - ring.oldest(), 2u * 8192u + 4096u);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsAllTasksAndReportsWorkerIndex) {
+  runtime::ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  std::atomic<int> sum{0};
+  std::vector<std::future<std::size_t>> futures;
+  futures.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&sum](std::size_t worker) {
+      sum.fetch_add(1);
+      return worker;
+    }));
+  }
+  for (auto& f : futures) {
+    const std::size_t worker = f.get();
+    EXPECT_LT(worker, 4u);
+  }
+  EXPECT_EQ(sum.load(), 64);
+  pool.wait_idle();
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  runtime::ThreadPool pool(2);
+  auto f = pool.submit([](std::size_t) -> int {
+    throw std::runtime_error("job failed");
+  });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Trained fixture shared by the parity and service tests (training is the
+// expensive part, so it runs once per suite).
+// ---------------------------------------------------------------------------
+
+class RuntimeLocator : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    key_ = new crypto::Key16{};
+    for (int i = 0; i < 16; ++i)
+      (*key_)[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(0x20 + i);
+
+    sc_ = new trace::ScenarioConfig{};
+    sc_->cipher = crypto::CipherId::kAes128;
+    sc_->random_delay = trace::RandomDelayConfig::kRd2;
+    sc_->seed = 77;
+
+    auto acq = trace::acquire_cipher_traces(*sc_, 320, *key_);
+    auto noise = trace::acquire_noise_trace(*sc_, 80000);
+
+    core::LocatorConfig lc;
+    lc.params = core::PipelineParams::defaults_for(sc_->cipher);
+    lc.params.epochs = 8;
+    // Streaming cannot run whole-trace Otsu, so parity requires the fixed
+    // decision boundary of the linear class margin.
+    lc.params.threshold = 0.0f;
+    locator_ = new core::CoLocator(lc);
+    locator_->train(acq, noise);
+
+    eval_ = new trace::Trace(
+        trace::acquire_eval_trace(*sc_, 16, *key_, false));
+    offline_ = new std::vector<std::size_t>(locator_->locate(eval_->samples));
+  }
+
+  static void TearDownTestSuite() {
+    delete offline_;
+    delete eval_;
+    delete locator_;
+    delete sc_;
+    delete key_;
+  }
+
+  /// Streams `samples` in `chunk`-sized pieces and returns every detection.
+  static std::vector<std::size_t> stream_starts(
+      std::span<const float> samples, std::size_t chunk) {
+    runtime::StreamingLocator sl(*locator_);
+    std::vector<std::size_t> starts;
+    for (std::size_t off = 0; off < samples.size(); off += chunk) {
+      const std::size_t n = std::min(chunk, samples.size() - off);
+      for (const auto& d : sl.feed(samples.subspan(off, n)))
+        starts.push_back(d.start);
+    }
+    for (const auto& d : sl.finish()) starts.push_back(d.start);
+    return starts;
+  }
+
+  static crypto::Key16* key_;
+  static trace::ScenarioConfig* sc_;
+  static core::CoLocator* locator_;
+  static trace::Trace* eval_;
+  static std::vector<std::size_t>* offline_;
+};
+
+crypto::Key16* RuntimeLocator::key_ = nullptr;
+trace::ScenarioConfig* RuntimeLocator::sc_ = nullptr;
+core::CoLocator* RuntimeLocator::locator_ = nullptr;
+trace::Trace* RuntimeLocator::eval_ = nullptr;
+std::vector<std::size_t>* RuntimeLocator::offline_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Streaming parity
+// ---------------------------------------------------------------------------
+
+TEST_F(RuntimeLocator, OfflineBaselineDetectsSomething) {
+  // The parity tests below are vacuous on an empty baseline; make sure the
+  // fixture's training produced a usable detector.
+  ASSERT_FALSE(offline_->empty());
+}
+
+TEST_F(RuntimeLocator, StreamingMatchesOfflineChunk256) {
+  EXPECT_EQ(stream_starts(eval_->samples, 256), *offline_);
+}
+
+TEST_F(RuntimeLocator, StreamingMatchesOfflineChunk4096) {
+  EXPECT_EQ(stream_starts(eval_->samples, 4096), *offline_);
+}
+
+TEST_F(RuntimeLocator, StreamingMatchesOfflineFullTrace) {
+  EXPECT_EQ(stream_starts(eval_->samples, eval_->samples.size()), *offline_);
+}
+
+TEST_F(RuntimeLocator, StreamingMatchesOfflineChunkSmallerThanWindow) {
+  // 48-sample chunks are far below the inference window (the classifier
+  // must wait several feeds before the first window exists).
+  ASSERT_LT(48u, locator_->config().params.n_inf);
+  EXPECT_EQ(stream_starts(eval_->samples, 48), *offline_);
+}
+
+TEST_F(RuntimeLocator, StreamingEmitsOnlineNotJustAtFinish) {
+  runtime::StreamingLocator sl(*locator_);
+  std::size_t before_finish = 0;
+  const auto samples = std::span<const float>(eval_->samples);
+  for (std::size_t off = 0; off < samples.size(); off += 2048)
+    before_finish +=
+        sl.feed(samples.subspan(off, std::min<std::size_t>(
+                                         2048, samples.size() - off)))
+            .size();
+  const std::size_t at_finish = sl.finish().size();
+  EXPECT_EQ(before_finish + at_finish, offline_->size());
+  // All but the last few detections must be available before end-of-stream.
+  EXPECT_GE(before_finish + 2, offline_->size());
+}
+
+TEST_F(RuntimeLocator, StreamingMemoryStaysBounded) {
+  runtime::StreamingLocator sl(*locator_);
+  const auto samples = std::span<const float>(eval_->samples);
+  std::size_t max_resident = 0;
+  for (std::size_t off = 0; off < samples.size(); off += 1024) {
+    sl.feed(samples.subspan(off,
+                            std::min<std::size_t>(1024, samples.size() - off)));
+    max_resident = std::max(max_resident, sl.resident_samples());
+  }
+  sl.finish();
+  ASSERT_GT(samples.size(), 4u * 16384u);
+  // The tail the pipeline needs is the window + filter lag + alignment
+  // radius + compaction slack: a few thousand samples, nowhere near the
+  // full trace.
+  EXPECT_LT(max_resident, samples.size() / 4);
+}
+
+TEST_F(RuntimeLocator, ResetAllowsReuse) {
+  runtime::StreamingLocator sl(*locator_);
+  sl.feed(eval_->samples);
+  auto first = sl.finish();
+  EXPECT_THROW(sl.feed(eval_->samples), Error);
+  sl.reset();
+  sl.feed(eval_->samples);
+  auto second = sl.finish();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_EQ(first[i].start, second[i].start);
+}
+
+// ---------------------------------------------------------------------------
+// LocatorService
+// ---------------------------------------------------------------------------
+
+TEST_F(RuntimeLocator, ServiceRunsConcurrentJobsAgainstSharedModel) {
+  runtime::LocatorService service(*locator_, {.workers = 4});
+  EXPECT_EQ(service.worker_count(), 4u);
+
+  constexpr std::size_t kJobs = 10;
+  std::vector<std::future<std::vector<std::size_t>>> futures;
+  futures.reserve(kJobs);
+  for (std::size_t j = 0; j < kJobs; ++j)
+    futures.push_back(service.submit_view(eval_->samples));
+
+  for (auto& f : futures) EXPECT_EQ(f.get(), *offline_);
+  EXPECT_EQ(service.jobs_submitted(), kJobs);
+  EXPECT_EQ(service.jobs_completed(), kJobs);
+}
+
+TEST_F(RuntimeLocator, ServiceHandlesMixedAndEmptyTraces) {
+  runtime::LocatorService service(*locator_, {.workers = 3});
+  auto empty = service.submit(std::vector<float>{});
+  auto shorter = service.submit(std::vector<float>(
+      eval_->samples.begin(), eval_->samples.begin() + 50000));
+  auto full = service.submit(std::vector<float>(eval_->samples));
+
+  EXPECT_TRUE(empty.get().empty());
+  const auto expect_short = locator_->locate(
+      std::span<const float>(eval_->samples.data(), 50000));
+  EXPECT_EQ(shorter.get(), expect_short);
+  EXPECT_EQ(full.get(), *offline_);
+  service.drain();
+  EXPECT_EQ(service.jobs_completed(), 3u);
+}
+
+}  // namespace
+}  // namespace scalocate

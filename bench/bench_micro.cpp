@@ -1,6 +1,8 @@
 // Engineering micro-benchmarks (google-benchmark): throughput of the hot
-// paths -- Conv1d, full CNN window scoring, CPA trace accumulation, the SoC
-// simulator, and the segmentation DSP blocks.
+// paths -- the GEMM/conv kernel backend (blocked vs naive reference), full
+// CNN window scoring, CPA trace accumulation, the SoC simulator, and the
+// segmentation DSP blocks. The conv/GEMM cases feed the README
+// "Performance" table.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
@@ -8,6 +10,8 @@
 #include "core/model.hpp"
 #include "nn/conv1d.hpp"
 #include "nn/init.hpp"
+#include "nn/kernels/gemm.hpp"
+#include "nn/kernels/reference.hpp"
 #include "sca/cpa.hpp"
 #include "trace/scenario.hpp"
 #include "trace/soc_simulator.hpp"
@@ -23,11 +27,162 @@ nn::Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed) {
   return t;
 }
 
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  std::vector<float> v(n);
+  Rng rng(seed);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+// --- GEMM kernel: blocked backend vs naive reference (GFLOP/s) -------------
+// Sizes mirror the im2col GEMMs of the paper model at Ninf = 192:
+// M = Cout, N = out_len, K = Cin*K.
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto k = static_cast<std::size_t>(state.range(2));
+  const auto a = random_vec(m * k, 1);
+  const auto b = random_vec(k * n, 2);
+  std::vector<float> c(m * n);
+  nn::kernels::GemmScratch scratch;
+  for (auto _ : state) {
+    nn::kernels::sgemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n,
+                       0.0f, c.data(), n, scratch);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * static_cast<double>(m) *
+          static_cast<double>(n) * static_cast<double>(k) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmBlocked)
+    ->Args({16, 192, 64})     // entry conv (Cin=1, K=64)
+    ->Args({32, 192, 1024})   // widening conv (Cin=16, K=64)
+    ->Args({256, 256, 256});  // square reference point
+
+void BM_GemmNaive(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto k = static_cast<std::size_t>(state.range(2));
+  const auto a = random_vec(m * k, 1);
+  const auto b = random_vec(k * n, 2);
+  std::vector<float> c(m * n);
+  for (auto _ : state) {
+    nn::kernels::sgemm_naive(false, false, m, n, k, 1.0f, a.data(), k,
+                             b.data(), n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * static_cast<double>(m) *
+          static_cast<double>(n) * static_cast<double>(k) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNaive)->Args({32, 192, 1024})->Args({256, 256, 256});
+
+// --- Conv1d forward: im2col+GEMM layer vs preserved naive reference --------
+// Paper-size model convolutions (K = 64, Ninf = 192, channels 1->16->32).
+
+struct PaperConv {
+  std::size_t cin, cout;
+};
+constexpr PaperConv kPaperConvs[] = {{1, 16}, {16, 16}, {16, 32}, {32, 32}};
+
+void BM_Conv1dForwardPaper(benchmark::State& state) {
+  const PaperConv pc = kPaperConvs[state.range(0)];
+  const std::size_t kernel = 64, n = 192, batch = 64;
+  nn::Conv1d conv(pc.cin, pc.cout, kernel);
+  Rng rng(1);
+  nn::he_normal_init(conv.weight().value, rng);
+  conv.set_training(false);
+  const auto x = random_tensor({batch, pc.cin, n}, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+  const double flops = 2.0 * static_cast<double>(batch) * pc.cout * n *
+                       pc.cin * static_cast<double>(kernel);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * flops * 1e-9,
+      benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() * batch * n);
+}
+BENCHMARK(BM_Conv1dForwardPaper)->DenseRange(0, 3);
+
+void BM_Conv1dForwardNaivePaper(benchmark::State& state) {
+  const PaperConv pc = kPaperConvs[state.range(0)];
+  const std::size_t kernel = 64, n = 192, batch = 64;
+  nn::Conv1d conv(pc.cin, pc.cout, kernel);  // same padding resolution
+  Rng rng(1);
+  nn::he_normal_init(conv.weight().value, rng);
+  const auto x = random_tensor({batch, pc.cin, n}, 2);
+  const std::size_t out_len = conv.output_length(n);
+  std::vector<float> out(batch * pc.cout * out_len);
+  for (auto _ : state) {
+    nn::kernels::conv1d_forward_naive(
+        x.data(), batch, pc.cin, n, conv.weight().value.data(),
+        conv.bias().value.data(), pc.cout, kernel, 1, conv.pad_left(), out_len,
+        out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  const double flops = 2.0 * static_cast<double>(batch) * pc.cout * n *
+                       pc.cin * static_cast<double>(kernel);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * flops * 1e-9,
+      benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() * batch * n);
+}
+BENCHMARK(BM_Conv1dForwardNaivePaper)->DenseRange(0, 3);
+
+// The whole conv stack of the paper model (1->16, 2x 16->16, 16->32,
+// 2x 32->32 across the residual blocks collapse to these four shapes with
+// multiplicities 1/2/1/2): one number for the model-level conv speedup.
+void BM_Conv1dForwardPaperStack(benchmark::State& state) {
+  const bool use_gemm = state.range(0) != 0;
+  const std::size_t kernel = 64, n = 192, batch = 64;
+  const std::size_t mult[] = {1, 2, 1, 2};
+  std::vector<std::unique_ptr<nn::Conv1d>> convs;
+  std::vector<nn::Tensor> xs;
+  double flops = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const PaperConv pc = kPaperConvs[i];
+    auto conv = std::make_unique<nn::Conv1d>(pc.cin, pc.cout, kernel);
+    Rng rng(i + 1);
+    nn::he_normal_init(conv->weight().value, rng);
+    conv->set_training(false);
+    convs.push_back(std::move(conv));
+    xs.push_back(random_tensor({batch, pc.cin, n}, i + 10));
+    flops += static_cast<double>(mult[i]) * 2.0 * batch * pc.cout * n *
+             pc.cin * static_cast<double>(kernel);
+  }
+  const std::size_t out_len = convs[0]->output_length(n);
+  std::vector<float> out(batch * 32 * out_len);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t rep = 0; rep < mult[i]; ++rep) {
+        if (use_gemm) {
+          benchmark::DoNotOptimize(convs[i]->forward(xs[i]));
+        } else {
+          const PaperConv pc = kPaperConvs[i];
+          nn::kernels::conv1d_forward_naive(
+              xs[i].data(), batch, pc.cin, n, convs[i]->weight().value.data(),
+              convs[i]->bias().value.data(), pc.cout, kernel, 1,
+              convs[i]->pad_left(), out_len, out.data());
+          benchmark::DoNotOptimize(out.data());
+        }
+      }
+    }
+  }
+  state.SetLabel(use_gemm ? "kernel backend" : "naive");
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * flops * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Conv1dForwardPaperStack)->Arg(1)->Arg(0);
+
 void BM_Conv1dForward(benchmark::State& state) {
   const auto channels = static_cast<std::size_t>(state.range(0));
   nn::Conv1d conv(channels, channels, 16);
   Rng rng(1);
   nn::he_normal_init(conv.weight().value, rng);
+  conv.set_training(false);
   const auto x = random_tensor({8, channels, 256}, 2);
   for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
   state.SetItemsProcessed(state.iterations() * 8 * 256);

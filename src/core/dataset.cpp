@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "nn/kernels/pointwise.hpp"
 
 namespace scalocate::core {
 
@@ -21,13 +22,10 @@ DatasetBuilder::DatasetBuilder(const PipelineParams& params, std::uint64_t seed)
 }
 
 void DatasetBuilder::standardize_window(std::vector<float>& window) {
-  const double m = stats::mean(window);
-  const double sd = stats::stddev(window);
-  if (sd <= 1e-9) {
-    std::fill(window.begin(), window.end(), 0.0f);
-    return;
-  }
-  for (auto& v : window) v = static_cast<float>((v - m) / sd);
+  // One standardization path for the whole system: training windows here,
+  // inference windows via SlidingWindowClassifier::score_into and the
+  // streaming locator, all through the same kernel.
+  nn::kernels::standardize(window, window.data());
 }
 
 WindowDataset DatasetBuilder::build(const trace::CipherAcquisition& ciphers,

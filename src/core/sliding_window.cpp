@@ -1,7 +1,6 @@
 #include "core/sliding_window.hpp"
 
 #include "common/error.hpp"
-#include "core/dataset.hpp"
 
 namespace scalocate::core {
 
@@ -31,31 +30,31 @@ void SlidingWindowClassifier::score_batch(const nn::Tensor& inputs,
     scores_out[i] = logits.at(i, 1) - logits.at(i, 0);
 }
 
+void SlidingWindowClassifier::score_into(std::span<const float> trace_samples,
+                                         std::span<float> scores_out,
+                                         nn::Workspace& ws) const {
+  const std::size_t n_windows = num_windows(trace_samples.size());
+  detail::require(scores_out.size() >= n_windows,
+                  "SlidingWindowClassifier::score_into: scores_out too small");
+
+  for (std::size_t base = 0; base < n_windows; base += batch_size_) {
+    const std::size_t count = std::min(batch_size_, n_windows - base);
+    score_window_batch(
+        count,
+        [&](std::size_t i) {
+          return trace_samples.subspan((base + i) * stride_, window_);
+        },
+        scores_out.data() + base, ws);
+  }
+}
+
 SlidingWindowResult SlidingWindowClassifier::classify(
     std::span<const float> trace_samples, nn::Workspace& ws) const {
   SlidingWindowResult result;
   result.stride = stride_;
   result.window = window_;
-  if (trace_samples.size() < window_) return result;
-
-  const std::size_t n_windows = (trace_samples.size() - window_) / stride_ + 1;
-  result.scores.resize(n_windows);
-
-  std::vector<float> window_buf(window_);
-  for (std::size_t base = 0; base < n_windows; base += batch_size_) {
-    const std::size_t count = std::min(batch_size_, n_windows - base);
-    nn::Tensor inputs({count, 1, window_});
-    for (std::size_t i = 0; i < count; ++i) {
-      const std::size_t off = (base + i) * stride_;
-      window_buf.assign(
-          trace_samples.begin() + static_cast<std::ptrdiff_t>(off),
-          trace_samples.begin() + static_cast<std::ptrdiff_t>(off + window_));
-      DatasetBuilder::standardize_window(window_buf);
-      std::copy(window_buf.begin(), window_buf.end(),
-                inputs.data() + i * window_);
-    }
-    score_batch(inputs, result.scores.data() + base, ws);
-  }
+  result.scores.resize(num_windows(trace_samples.size()));
+  score_into(trace_samples, result.scores, ws);
   return result;
 }
 

@@ -3,27 +3,20 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "nn/kernels/pointwise.hpp"
 
 namespace scalocate::nn {
 
 Tensor ReLU::forward(const Tensor& input, Workspace& ws) const {
   Tensor out(input.shape());
-  const float* x = input.data();
-  float* o = out.data();
   if (training_) {
     Tensor& mask = ws.slot(this).a;
     mask = Tensor(input.shape());
-    float* m = mask.data();
-    for (std::size_t i = 0; i < input.numel(); ++i) {
-      const bool positive = x[i] > 0.0f;
-      o[i] = positive ? x[i] : 0.0f;
-      m[i] = positive ? 1.0f : 0.0f;
-    }
+    kernels::relu_mask(input.numel(), input.data(), out.data(), mask.data());
   } else {
     // Backward-only mask skipped in eval mode (see Conv1d::forward).
     ws.slot(this).a = Tensor();
-    for (std::size_t i = 0; i < input.numel(); ++i)
-      o[i] = x[i] > 0.0f ? x[i] : 0.0f;
+    kernels::relu(input.numel(), input.data(), out.data());
   }
   return out;
 }
@@ -34,10 +27,8 @@ Tensor ReLU::backward(const Tensor& grad_output, Workspace& ws) {
   detail::require(grad_output.same_shape(mask),
                   "ReLU::backward: grad shape mismatch");
   Tensor grad_input(grad_output.shape());
-  const float* g = grad_output.data();
-  const float* m = mask.data();
-  float* gi = grad_input.data();
-  for (std::size_t i = 0; i < grad_output.numel(); ++i) gi[i] = g[i] * m[i];
+  kernels::multiply(grad_output.numel(), grad_output.data(), mask.data(),
+                    grad_input.data());
   return grad_input;
 }
 

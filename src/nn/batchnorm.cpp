@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "nn/kernels/pointwise.hpp"
 
 namespace scalocate::nn {
 
@@ -40,10 +41,8 @@ Tensor BatchNorm1d::forward(const Tensor& input, Workspace& ws) const {
     double mean = 0.0;
     double var = 0.0;
     if (training_) {
-      for (std::size_t b = 0; b < batch; ++b) {
-        const float* row = input.data() + (b * channels_ + c) * n;
-        for (std::size_t i = 0; i < n; ++i) mean += row[i];
-      }
+      for (std::size_t b = 0; b < batch; ++b)
+        mean += kernels::sum(n, input.data() + (b * channels_ + c) * n);
       mean /= static_cast<double>(count);
       for (std::size_t b = 0; b < batch; ++b) {
         const float* row = input.data() + (b * channels_ + c) * n;
@@ -64,16 +63,32 @@ Tensor BatchNorm1d::forward(const Tensor& input, Workspace& ws) const {
 
     const double inv_std = 1.0 / std::sqrt(var + eps_);
     cached_inv_std[c] = static_cast<float>(inv_std);
-    const float g = gamma_.value.at(c);
-    const float be = beta_.value.at(c);
-    for (std::size_t b = 0; b < batch; ++b) {
-      const float* row = input.data() + (b * channels_ + c) * n;
-      float* nrow = cached_normalized.data() + (b * channels_ + c) * n;
-      float* orow = out.data() + (b * channels_ + c) * n;
-      for (std::size_t i = 0; i < n; ++i) {
-        const float xhat = static_cast<float>((row[i] - mean) * inv_std);
-        nrow[i] = xhat;
-        orow[i] = g * xhat + be;
+    if (training_) {
+      // Training keeps the normalize in double (as pre-backend): xhat
+      // feeds every gradient, and single-rounded statistics keep the
+      // training trajectory identical across kernel backends.
+      const float g = gamma_.value.at(c);
+      const float be = beta_.value.at(c);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const std::size_t off = (b * channels_ + c) * n;
+        const float* row = input.data() + off;
+        float* nrow = cached_normalized.data() + off;
+        float* orow = out.data() + off;
+        for (std::size_t i = 0; i < n; ++i) {
+          const float xhat = static_cast<float>((row[i] - mean) * inv_std);
+          nrow[i] = xhat;
+          orow[i] = g * xhat + be;
+        }
+      }
+    } else {
+      // Eval (serving) path: fused single-precision normalize + affine —
+      // one pass writes both the xhat cache and the output row.
+      for (std::size_t b = 0; b < batch; ++b) {
+        const std::size_t off = (b * channels_ + c) * n;
+        kernels::normalize_scale_shift(
+            n, input.data() + off, static_cast<float>(mean),
+            static_cast<float>(inv_std), gamma_.value.at(c), beta_.value.at(c),
+            cached_normalized.data() + off, out.data() + off);
       }
     }
   }
@@ -93,43 +108,36 @@ Tensor BatchNorm1d::backward(const Tensor& grad_output, Workspace& ws) {
   Tensor grad_input(xhat.shape());
 
   for (std::size_t c = 0; c < channels_; ++c) {
-    // Accumulate dL/dgamma, dL/dbeta and the two reduction terms of the
-    // batch-norm input gradient.
+    // dL/dgamma, dL/dbeta and the two reduction terms of the input
+    // gradient, in one fused pass per row.
     double sum_g = 0.0;        // sum of grad_out
     double sum_g_xhat = 0.0;   // sum of grad_out * xhat
     for (std::size_t b = 0; b < batch; ++b) {
-      const float* grow = grad_output.data() + (b * channels_ + c) * n;
-      const float* nrow = xhat.data() + (b * channels_ + c) * n;
-      for (std::size_t i = 0; i < n; ++i) {
-        sum_g += grow[i];
-        sum_g_xhat += grow[i] * nrow[i];
-      }
+      const std::size_t off = (b * channels_ + c) * n;
+      kernels::sums_dot(n, grad_output.data() + off, xhat.data() + off, &sum_g,
+                        &sum_g_xhat);
     }
     gamma_.grad.at(c) += static_cast<float>(sum_g_xhat);
     beta_.grad.at(c) += static_cast<float>(sum_g);
 
     const double g = gamma_.value.at(c);
     const double inv_std = slot.scalars[c];
+    const auto coeff = static_cast<float>(g * inv_std);
     if (training_) {
-      // dL/dx = gamma * inv_std * (g_i - mean(g) - xhat_i * mean(g*xhat))
-      const double mean_g = sum_g / count;
-      const double mean_g_xhat = sum_g_xhat / count;
+      // dL/dx = gamma * inv_std * (g_i - mean(g) - xhat_i * mean(g*xhat)),
+      // all-double like the forward normalize (training numerics fixed).
       for (std::size_t b = 0; b < batch; ++b) {
-        const float* grow = grad_output.data() + (b * channels_ + c) * n;
-        const float* nrow = xhat.data() + (b * channels_ + c) * n;
-        float* gx = grad_input.data() + (b * channels_ + c) * n;
-        for (std::size_t i = 0; i < n; ++i) {
-          gx[i] = static_cast<float>(
-              g * inv_std * (grow[i] - mean_g - nrow[i] * mean_g_xhat));
-        }
+        const std::size_t off = (b * channels_ + c) * n;
+        kernels::bn_input_grad(n, grad_output.data() + off, xhat.data() + off,
+                               g * inv_std, sum_g / count, sum_g_xhat / count,
+                               grad_input.data() + off);
       }
     } else {
-      // Eval mode: statistics are constants.
+      // Eval mode: statistics are constants, the gradient is a pure scale.
       for (std::size_t b = 0; b < batch; ++b) {
-        const float* grow = grad_output.data() + (b * channels_ + c) * n;
-        float* gx = grad_input.data() + (b * channels_ + c) * n;
-        for (std::size_t i = 0; i < n; ++i)
-          gx[i] = static_cast<float>(g * inv_std * grow[i]);
+        const std::size_t off = (b * channels_ + c) * n;
+        kernels::scale_shift(n, grad_output.data() + off, coeff, 0.0f,
+                             grad_input.data() + off);
       }
     }
   }

@@ -3,6 +3,9 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "nn/kernels/gemm.hpp"
+#include "nn/kernels/pack.hpp"
+#include "nn/kernels/pointwise.hpp"
 
 namespace scalocate::nn {
 
@@ -28,7 +31,12 @@ std::size_t Conv1d::output_length(std::size_t n) const {
   // length even for even kernels (the paper's K = 64).
   const std::size_t pad_total = pad_left_ + pad_right_;
   detail::require(n + pad_total >= kernel_size_, "Conv1d: input too short");
-  return (n + pad_total - kernel_size_) / stride_ + 1;
+  return kernels::conv_output_length(n, kernel_size_, stride_, pad_left_,
+                                     pad_right_);
+}
+
+bool Conv1d::is_pointwise() const {
+  return kernel_size_ == 1 && stride_ == 1 && pad_left_ == 0 && pad_right_ == 0;
 }
 
 Tensor Conv1d::forward(const Tensor& input, Workspace& ws) const {
@@ -43,46 +51,16 @@ Tensor Conv1d::forward(const Tensor& input, Workspace& ws) const {
   const std::size_t batch = input.dim(0);
   const std::size_t n = input.dim(2);
   const std::size_t out_len = output_length(n);
-  const std::size_t pad_left = pad_left_;
 
   Tensor out({batch, out_channels_, out_len});
-  const float* w = weight_.value.data();
-  const float* bias = bias_.value.data();
-  const float* x = input.data();
-
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t co = 0; co < out_channels_; ++co) {
-      float* orow = out.data() + (b * out_channels_ + co) * out_len;
-      const float bv = bias[co];
-      for (std::size_t i = 0; i < out_len; ++i) orow[i] = bv;
-      for (std::size_t ci = 0; ci < in_channels_; ++ci) {
-        const float* xrow = x + (b * in_channels_ + ci) * n;
-        const float* wrow = w + (co * in_channels_ + ci) * kernel_size_;
-        for (std::size_t k = 0; k < kernel_size_; ++k) {
-          const float wv = wrow[k];
-          if (wv == 0.0f) continue;
-          // Output positions whose tap k lands inside [0, n).
-          std::size_t lo = 0;
-          if (k < pad_left) lo = (pad_left - k + stride_ - 1) / stride_;
-          if (lo >= out_len) continue;
-          const std::size_t max_idx = n - 1 + pad_left;
-          if (k > max_idx) continue;
-          std::size_t hi = (max_idx - k) / stride_;  // inclusive
-          if (hi >= out_len) hi = out_len - 1;
-          const float* xbase = xrow + (lo * stride_ + k - pad_left);
-          float* obase = orow + lo;
-          const std::size_t count = hi - lo + 1;
-          if (stride_ == 1) {
-            for (std::size_t i = 0; i < count; ++i)
-              obase[i] += wv * xbase[i];
-          } else {
-            for (std::size_t i = 0; i < count; ++i)
-              obase[i] += wv * xbase[i * stride_];
-          }
-        }
-      }
-    }
-  }
+  // One fused im2col+GEMM+bias over the whole batch: the column matrix is
+  // virtual (packed straight from the input inside the GEMM, K dimension
+  // = Cin*kernel), the weights are packed once per call, and the bias
+  // rides the C write-back — a single pass over the output.
+  kernels::sgemm_conv(out_channels_, out_len, batch, weight_.value.data(),
+                      bias_.value.data(), input.data(), in_channels_, n,
+                      kernel_size_, stride_, pad_left_, out.data(),
+                      ws.kernels().gemm);
   return out;
 }
 
@@ -99,55 +77,45 @@ Tensor Conv1d::backward(const Tensor& grad_output, Workspace& ws) {
                   "Conv1d::backward: grad shape mismatch");
 
   Tensor grad_input({batch, in_channels_, n});
-  const std::size_t pad_left = pad_left_;
-  const float* x = input.data();
-  const float* gout = grad_output.data();
+  const std::size_t ck = in_channels_ * kernel_size_;
+  KernelScratch& ks = ws.kernels();
   const float* w = weight_.value.data();
   float* gw = weight_.grad.data();
-  float* gb = bias_.grad.data();
-  float* gx = grad_input.data();
+  const bool pointwise = is_pointwise();
+  if (!pointwise) {
+    ks.col_a.resize(ck * out_len);
+    ks.col_b.resize(ck * out_len);
+  }
 
   for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t co = 0; co < out_channels_; ++co) {
-      const float* gorow = gout + (b * out_channels_ + co) * out_len;
-      // Bias gradient.
-      float acc = 0.0f;
-      for (std::size_t i = 0; i < out_len; ++i) acc += gorow[i];
-      gb[co] += acc;
+    const float* xb = input.data() + b * in_channels_ * n;
+    const float* gob = grad_output.data() + b * out_channels_ * out_len;
+    float* gxb = grad_input.data() + b * in_channels_ * n;
 
-      for (std::size_t ci = 0; ci < in_channels_; ++ci) {
-        const float* xrow = x + (b * in_channels_ + ci) * n;
-        float* gxrow = gx + (b * in_channels_ + ci) * n;
-        const float* wrow = w + (co * in_channels_ + ci) * kernel_size_;
-        float* gwrow = gw + (co * in_channels_ + ci) * kernel_size_;
-        for (std::size_t k = 0; k < kernel_size_; ++k) {
-          std::size_t lo = 0;
-          if (k < pad_left) lo = (pad_left - k + stride_ - 1) / stride_;
-          if (lo >= out_len) continue;
-          const std::size_t max_idx = n - 1 + pad_left;
-          if (k > max_idx) continue;
-          std::size_t hi = (max_idx - k) / stride_;
-          if (hi >= out_len) hi = out_len - 1;
-          const std::size_t count = hi - lo + 1;
-          const float* xbase = xrow + (lo * stride_ + k - pad_left);
-          float* gxbase = gxrow + (lo * stride_ + k - pad_left);
-          const float* gbase = gorow + lo;
-          const float wv = wrow[k];
-          float wacc = 0.0f;
-          if (stride_ == 1) {
-            for (std::size_t i = 0; i < count; ++i) {
-              wacc += gbase[i] * xbase[i];
-              gxbase[i] += wv * gbase[i];
-            }
-          } else {
-            for (std::size_t i = 0; i < count; ++i) {
-              wacc += gbase[i] * xbase[i * stride_];
-              gxbase[i * stride_] += wv * gbase[i];
-            }
-          }
-          gwrow[k] += wacc;
-        }
-      }
+    // dBias[co] += sum_j dY[co, j]
+    kernels::row_sums_add(gob, out_channels_, out_len, bias_.grad.data());
+
+    // Re-lower the cached input: cheaper than retaining a col matrix per
+    // batch item across the whole forward pass.
+    const float* col = xb;
+    if (!pointwise) {
+      kernels::im2col(xb, in_channels_, n, kernel_size_, stride_, pad_left_,
+                      out_len, ks.col_a.data());
+      col = ks.col_a.data();
+    }
+    // dW += dY [Cout, out_len] x col^T [out_len, Cin*K]
+    kernels::sgemm(false, true, out_channels_, ck, out_len, 1.0f, gob, out_len,
+                   col, out_len, 1.0f, gw, ck, ks.gemm);
+    // dCol = W^T [Cin*K, Cout] x dY [Cout, out_len], scattered back by
+    // col2im (overlapping taps accumulate).
+    if (pointwise) {
+      kernels::sgemm(true, false, ck, out_len, out_channels_, 1.0f, w, ck, gob,
+                     out_len, 0.0f, gxb, out_len, ks.gemm);
+    } else {
+      kernels::sgemm(true, false, ck, out_len, out_channels_, 1.0f, w, ck, gob,
+                     out_len, 0.0f, ks.col_b.data(), out_len, ks.gemm);
+      kernels::col2im(ks.col_b.data(), in_channels_, n, kernel_size_, stride_,
+                      pad_left_, out_len, gxb);
     }
   }
   return grad_input;

@@ -4,6 +4,11 @@
 // Zero padding keeps the temporal length when stride == 1 and K is the
 // paper's kernel size (64): out length = (N + 2*pad - K)/stride + 1 with
 // pad chosen as (K-1)/2-style "same" padding by default.
+//
+// Forward and backward are lowered to im2col + cache-blocked GEMM
+// (nn/kernels/), with pack buffers taken from the caller's Workspace so
+// the layer itself stays const and thread-shareable. The pre-refactor
+// scalar loops survive as kernels::conv1d_*_naive for parity testing.
 #pragma once
 
 #include "nn/layer.hpp"
@@ -36,6 +41,10 @@ class Conv1d final : public Layer {
   std::size_t output_length(std::size_t n) const;
 
  private:
+  /// 1x1 stride-1 unpadded convolutions skip im2col: the input already is
+  /// the column matrix.
+  bool is_pointwise() const;
+
   std::size_t in_channels_, out_channels_, kernel_size_, stride_;
   std::size_t pad_left_, pad_right_;
   Param weight_;

@@ -1,0 +1,105 @@
+#include "nn/kernels/gemm.hpp"
+
+#include <algorithm>
+
+#include "nn/kernels/gemm_blocked.hpp"
+
+namespace scalocate::nn::kernels {
+
+namespace detail {
+
+// Defined here — and only here — so std::vector<float> growth code is
+// always baseline-ISA (see the declaration comment in gemm_blocked.hpp).
+float* grow(std::vector<float>& buf, std::size_t count) {
+  if (buf.size() < count) buf.resize(count);
+  return buf.data();
+}
+
+float* grow_zeroed(std::vector<float>& buf, std::size_t count) {
+  buf.assign(count, 0.0f);
+  return buf.data();
+}
+
+#if defined(SCALOCATE_GEMM_AVX2)
+// Defined in gemm_avx2.cpp (compiled with -mavx2 -mfma).
+void sgemm_avx2(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                std::size_t k, float alpha, const float* a, std::size_t lda,
+                const float* b, std::size_t ldb, float beta, float* c,
+                std::size_t ldc, GemmScratch& scratch);
+void sgemm_conv_avx2(std::size_t cout, std::size_t out_len, std::size_t batch,
+                     const float* w, const float* bias, const float* x,
+                     std::size_t cin, std::size_t n, std::size_t kernel,
+                     std::size_t stride, std::size_t pad_left, float* out,
+                     GemmScratch& scratch);
+
+bool cpu_has_avx2_fma() {
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported;
+}
+#endif
+
+}  // namespace detail
+
+void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+           std::size_t k, float alpha, const float* a, std::size_t lda,
+           const float* b, std::size_t ldb, float beta, float* c,
+           std::size_t ldc, GemmScratch& scratch) {
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) {
+    // Product term vanishes: apply beta only.
+    for (std::size_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      if (beta == 0.0f)
+        std::fill(crow, crow + n, 0.0f);
+      else if (beta != 1.0f)
+        for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    return;
+  }
+#if defined(SCALOCATE_GEMM_AVX2)
+  if (detail::cpu_has_avx2_fma()) {
+    detail::sgemm_avx2(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta,
+                       c, ldc, scratch);
+    return;
+  }
+#endif
+  detail::sgemm_blocked<4, 8>(trans_a, trans_b, m, n, k, alpha, a, lda, b,
+                              ldb, beta, c, ldc, scratch);
+}
+
+void sgemm_conv(std::size_t cout, std::size_t out_len, std::size_t batch,
+                const float* w, const float* bias, const float* x,
+                std::size_t cin, std::size_t n, std::size_t kernel,
+                std::size_t stride, std::size_t pad_left, float* out,
+                GemmScratch& scratch) {
+  if (cout == 0 || out_len == 0 || batch == 0) return;
+#if defined(SCALOCATE_GEMM_AVX2)
+  if (detail::cpu_has_avx2_fma()) {
+    detail::sgemm_conv_avx2(cout, out_len, batch, w, bias, x, cin, n, kernel,
+                            stride, pad_left, out, scratch);
+    return;
+  }
+#endif
+  detail::sgemm_conv_blocked<4, 8>(cout, out_len, batch, w, bias, x, cin, n,
+                                   kernel, stride, pad_left, out, scratch);
+}
+
+void sgemm_naive(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                 std::size_t k, float alpha, const float* a, std::size_t lda,
+                 const float* b, std::size_t ldb, float beta, float* c,
+                 std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p)
+        acc += static_cast<double>(detail::load_any(trans_a, a, lda, i, p)) *
+               static_cast<double>(detail::load_any(trans_b, b, ldb, p, j));
+      float& out = c[i * ldc + j];
+      const float prior = beta == 0.0f ? 0.0f : beta * out;
+      out = prior + alpha * static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace scalocate::nn::kernels

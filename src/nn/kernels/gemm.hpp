@@ -1,0 +1,62 @@
+// Cache-blocked single-precision GEMM: the compute core of the nn backend.
+//
+// Every dense layer (Conv1d via im2col, Linear directly) routes its forward
+// and backward matrix products through sgemm(). The implementation is a
+// classic three-level blocking (GotoBLAS structure): B is packed into
+// NR-wide column panels and A into MR-wide row panels sized for the L1/L2
+// caches, and an MR x NR register-tiled micro-kernel accumulates the
+// product, so the inner loop does O(MR*NR) arithmetic per O(MR+NR) loads
+// instead of the 1:1 ratio of a naive loop.
+//
+// sgemm_naive() is the reference kernel: a plain triple loop with
+// double-precision accumulation, kept (and unit-tested against) so the
+// blocked path always has an obviously-correct oracle.
+//
+// Thread-safety: sgemm is pure compute over caller-provided buffers; the
+// pack buffers live in a caller-owned GemmScratch (one per nn::Workspace,
+// hence one per concurrent inference caller).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scalocate::nn::kernels {
+
+/// Caller-owned packing buffers reused across sgemm calls (grown on
+/// demand, never shrunk). Not shareable between concurrent callers.
+struct GemmScratch {
+  std::vector<float> pack_a;  ///< MC x KC block of A, MR-row panels
+  std::vector<float> pack_b;  ///< KC x NC block of B, NR-column panels
+};
+
+/// C = alpha * op(A) * op(B) + beta * C, row-major with leading
+/// dimensions lda/ldb/ldc; op(X) = X^T when the trans flag is set.
+/// op(A) is m x k, op(B) is k x n, C is m x n. beta == 0 never reads C
+/// (so C may be uninitialized).
+void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+           std::size_t k, float alpha, const float* a, std::size_t lda,
+           const float* b, std::size_t ldb, float beta, float* c,
+           std::size_t ldc, GemmScratch& scratch);
+
+/// Fused batched convolution forward:
+/// out[b] = W * im2col(x[b]) + bias for x [batch, cin, n] and
+/// out [batch, cout, out_len], as a single blocked GEMM. The column
+/// matrix is virtual — the packing stage reads x directly — and the bias
+/// rides the first-panel write-back, so the conv forward packs the weight
+/// matrix once per call and makes exactly one pass over the output.
+/// `bias` may be null. out_len must equal conv_output_length(...).
+void sgemm_conv(std::size_t cout, std::size_t out_len, std::size_t batch,
+                const float* w, const float* bias, const float* x,
+                std::size_t cin, std::size_t n, std::size_t kernel,
+                std::size_t stride, std::size_t pad_left, float* out,
+                GemmScratch& scratch);
+
+/// Reference kernel: naive triple loop, double accumulators. Same
+/// contract as sgemm. Used by the parity tests and as the baseline in
+/// bench_micro.
+void sgemm_naive(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                 std::size_t k, float alpha, const float* a, std::size_t lda,
+                 const float* b, std::size_t ldb, float beta, float* c,
+                 std::size_t ldc);
+
+}  // namespace scalocate::nn::kernels

@@ -1,0 +1,444 @@
+// Internal: the cache-blocked GEMM implementation, templated on the
+// register-tile shape (MR x NR), a B-packing policy, and a C-placement
+// policy.
+//
+// The template is instantiated in two translation units with different
+// tiles and different compiler flags:
+//   - gemm.cpp        -> <4, 8>   (portable baseline ISA)
+//   - gemm_avx2.cpp   -> <6, 16>  (compiled with -mavx2 -mfma)
+// sgemm() in gemm.cpp picks the widest instantiation the running CPU
+// supports. Keeping the body a template (instead of ifdef'd copies) means
+// one algorithm, two codegens.
+//
+// Policies:
+//   - PlainB / PlainCStore: ordinary row-major GEMM.
+//   - Im2colB: a *virtual* batched column matrix — element (p, j) is the
+//     convolution input sample tap p would read for output column j, read
+//     straight from x during packing (im2col is never materialized).
+//   - BatchedConvCStore: scatters GEMM columns j = b*out_len + pos into a
+//     [B, Cout, out_len] output tensor and fuses the bias into the first
+//     k-panel write-back.
+// Together they make Conv1d::forward a single GEMM over the whole batch:
+// the weight matrix is packed once per layer call, not once per item.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "nn/kernels/gemm.hpp"
+
+namespace scalocate::nn::kernels::detail {
+
+// Cache blocking: the packed A block (MC x KC) stays L2-resident and is
+// re-streamed per B strip; the packed B panel (KC x NC) is sized to sit in
+// L2 as well so the single pass the micro-kernel makes over it stays off
+// DRAM (measured optimum on the batched conv GEMMs).
+constexpr std::size_t kMC = 132;  // multiple of both MR choices (4 and 6)
+constexpr std::size_t kKC = 256;
+constexpr std::size_t kNC = 512;
+
+// Internal linkage on purpose: this header is compiled into both the
+// baseline TU and the -mavx2 TU. A COMDAT-merged external-linkage inline
+// could let the linker keep the AVX-encoded copy and feed it to baseline
+// code paths (SIGILL on pre-AVX2 CPUs); a static copy per TU cannot leak.
+static inline float load_any(bool trans, const float* m, std::size_t ld,
+                             std::size_t row, std::size_t col) {
+  return trans ? m[col * ld + row] : m[row * ld + col];
+}
+
+/// Out-of-line vector growth/zeroing, defined ONLY in gemm.cpp (baseline
+/// ISA): keeps std::vector<float> method instantiations — which contain
+/// vectorizable float loops — out of the AVX2 TU for the same reason.
+float* grow(std::vector<float>& buf, std::size_t count);
+float* grow_zeroed(std::vector<float>& buf, std::size_t count);
+
+/// Packs A[ic..ic+mc) x [pc..pc+kc) into MR-row panels, zero-padding the
+/// ragged last panel so the micro-kernel never branches on bounds.
+template <std::size_t MR>
+void pack_block_a(bool trans, const float* a, std::size_t lda, std::size_t ic,
+                  std::size_t pc, std::size_t mc, std::size_t kc, float* dst) {
+  for (std::size_t i0 = 0; i0 < mc; i0 += MR) {
+    const std::size_t mr = std::min(MR, mc - i0);
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t ir = 0; ir < mr; ++ir)
+        dst[ir] = load_any(trans, a, lda, ic + i0 + ir, pc + p);
+      for (std::size_t ir = mr; ir < MR; ++ir) dst[ir] = 0.0f;
+      dst += MR;
+    }
+  }
+}
+
+/// B policy: plain row-major matrix, NR-column panels (zero-padded).
+struct PlainB {
+  bool trans;
+  const float* b;
+  std::size_t ldb;
+
+  template <std::size_t NR>
+  void pack(std::size_t pc, std::size_t jc, std::size_t kc, std::size_t nc,
+            float* dst) const {
+    for (std::size_t j0 = 0; j0 < nc; j0 += NR) {
+      const std::size_t nr = std::min(NR, nc - j0);
+      if (!trans && nr == NR) {
+        // Contiguous fast path: rows of B are unit-stride in j.
+        const float* src = b + pc * ldb + jc + j0;
+        for (std::size_t p = 0; p < kc; ++p) {
+          for (std::size_t jr = 0; jr < NR; ++jr) dst[jr] = src[jr];
+          src += ldb;
+          dst += NR;
+        }
+        continue;
+      }
+      for (std::size_t p = 0; p < kc; ++p) {
+        for (std::size_t jr = 0; jr < nr; ++jr)
+          dst[jr] = load_any(trans, b, ldb, pc + p, jc + j0 + jr);
+        for (std::size_t jr = nr; jr < NR; ++jr) dst[jr] = 0.0f;
+        dst += NR;
+      }
+    }
+  }
+};
+
+/// B policy: virtual im2col of a whole conv batch. Row p = ci*kernel + tap;
+/// column j = item*out_len + pos reads x[item][ci][pos*stride + tap - pad].
+struct Im2colB {
+  const float* x;  ///< [batch, cin, n] row-major
+  std::size_t cin, n, kernel, stride, pad_left;
+  std::size_t out_len;  ///< columns per batch item
+
+  template <std::size_t NR>
+  void pack(std::size_t pc, std::size_t jc, std::size_t kc, std::size_t nc,
+            float* dst) const {
+    const std::size_t item_stride = cin * n;
+    for (std::size_t j0 = 0; j0 < nc; j0 += NR) {
+      const std::size_t nr = std::min(NR, nc - j0);
+      const std::size_t col0 = jc + j0;
+      const std::size_t item = col0 / out_len;
+      const std::size_t pos0 = col0 % out_len;
+      if (pos0 + nr <= out_len) {
+        pack_item_strip<NR>(x + item * item_stride, pos0, nr, pc, kc, dst);
+        dst += kc * NR;
+        continue;
+      }
+      // Strip straddles a batch-item boundary (only when out_len % NR != 0):
+      // per-lane addressing.
+      for (std::size_t p = pc; p < pc + kc; ++p) {
+        const std::size_t ci = p / kernel;
+        const std::size_t tap = p % kernel;
+        for (std::size_t jr = 0; jr < NR; ++jr) {
+          float v = 0.0f;
+          if (jr < nr) {
+            const std::size_t col = col0 + jr;
+            const float* xrow =
+                x + (col / out_len) * item_stride + ci * n;
+            const std::ptrdiff_t idx =
+                static_cast<std::ptrdiff_t>((col % out_len) * stride + tap) -
+                static_cast<std::ptrdiff_t>(pad_left);
+            if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(n)) v = xrow[idx];
+          }
+          dst[jr] = v;
+        }
+        dst += NR;
+      }
+    }
+  }
+
+ private:
+  /// One NR-strip fully inside one batch item, columns [pos0, pos0 + nr).
+  /// The (channel, tap) decomposition of the row index is carried
+  /// incrementally — no divisions in the row loop — and the stride-1
+  /// interior case collapses to a constant-length vector copy.
+  template <std::size_t NR>
+  void pack_item_strip(const float* xi, std::size_t pos0, std::size_t nr,
+                       std::size_t pc, std::size_t kc, float* dst) const {
+    const float* xrow = xi + (pc / kernel) * n;
+    std::size_t tap = pc % kernel;
+    const std::ptrdiff_t sn = static_cast<std::ptrdiff_t>(n);
+    // Input index of lane jr is base + jr*stride (negative = left pad).
+    std::ptrdiff_t base = static_cast<std::ptrdiff_t>(pos0 * stride + tap) -
+                          static_cast<std::ptrdiff_t>(pad_left);
+    const std::ptrdiff_t base0 = base - static_cast<std::ptrdiff_t>(tap);
+    for (std::size_t p = 0; p < kc; ++p) {
+      if (stride == 1) {
+        if (base >= 0 && base + static_cast<std::ptrdiff_t>(NR) <= sn &&
+            nr == NR) {
+          // Interior strip: constant-length copy the compiler vectorizes.
+          const float* src = xrow + base;
+          for (std::size_t jr = 0; jr < NR; ++jr) dst[jr] = src[jr];
+        } else {
+          const std::ptrdiff_t snr = static_cast<std::ptrdiff_t>(nr);
+          std::ptrdiff_t lo = base < 0 ? -base : 0;  // first in-bounds lane
+          std::ptrdiff_t hi = sn - base;             // one past last
+          lo = std::min(lo, snr);
+          hi = std::max(std::min(hi, snr), lo);
+          for (std::ptrdiff_t jr = 0; jr < lo; ++jr) dst[jr] = 0.0f;
+          for (std::ptrdiff_t jr = lo; jr < hi; ++jr)
+            dst[jr] = xrow[base + jr];
+          for (std::size_t jr = static_cast<std::size_t>(hi); jr < NR; ++jr)
+            dst[jr] = 0.0f;
+        }
+      } else {
+        for (std::size_t jr = 0; jr < NR; ++jr) {
+          const std::ptrdiff_t idx =
+              base + static_cast<std::ptrdiff_t>(jr * stride);
+          dst[jr] = (jr < nr && idx >= 0 && idx < sn) ? xrow[idx] : 0.0f;
+        }
+      }
+      dst += NR;
+      if (++tap == kernel) {  // next row: advance (channel, tap)
+        tap = 0;
+        xrow += n;
+        base = base0;
+      } else {
+        ++base;
+      }
+    }
+  }
+};
+
+/// C policy: plain row-major C with leading dimension ldc.
+struct PlainCStore {
+  float* c;
+  std::size_t ldc;
+  float beta;
+
+  template <std::size_t NR>
+  void store(bool first_panel, float alpha, std::size_t row0, std::size_t mr,
+             std::size_t col0, std::size_t nr, const float* acc) const {
+    float* cblk = c + row0 * ldc + col0;
+    for (std::size_t ir = 0; ir < mr; ++ir) {
+      float* crow = cblk + ir * ldc;
+      const float* arow = acc + ir * NR;
+      if (!first_panel) {
+        for (std::size_t jr = 0; jr < nr; ++jr) crow[jr] += alpha * arow[jr];
+      } else if (beta == 0.0f) {
+        for (std::size_t jr = 0; jr < nr; ++jr) crow[jr] = alpha * arow[jr];
+      } else {
+        for (std::size_t jr = 0; jr < nr; ++jr)
+          crow[jr] = beta * crow[jr] + alpha * arow[jr];
+      }
+    }
+  }
+};
+
+/// C policy: batched conv output. GEMM row = out channel, GEMM column
+/// j = item*out_len + pos lands at out[item, row, pos]; the bias is fused
+/// into the first k-panel's write (no separate bias pass over the output).
+struct BatchedConvCStore {
+  float* out;  ///< [batch, cout, out_len]
+  std::size_t cout, out_len;
+  const float* bias;  ///< one per out channel, may be null
+
+  template <std::size_t NR>
+  void store(bool first_panel, float alpha, std::size_t row0, std::size_t mr,
+             std::size_t col0, std::size_t nr, const float* acc) const {
+    for (std::size_t ir = 0; ir < mr; ++ir) {
+      const std::size_t row = row0 + ir;
+      const float* arow = acc + ir * NR;
+      const float bv = bias != nullptr ? bias[row] : 0.0f;
+      std::size_t done = 0;
+      while (done < nr) {
+        const std::size_t item = (col0 + done) / out_len;
+        const std::size_t pos = (col0 + done) % out_len;
+        const std::size_t run = std::min(nr - done, out_len - pos);
+        float* crow = out + (item * cout + row) * out_len + pos;
+        if (first_panel) {
+          for (std::size_t t = 0; t < run; ++t)
+            crow[t] = alpha * arow[done + t] + bv;
+        } else {
+          for (std::size_t t = 0; t < run; ++t)
+            crow[t] += alpha * arow[done + t];
+        }
+        done += run;
+      }
+    }
+  }
+};
+
+/// acc[MR][NR] = pa panel * pb panel over kc steps.
+///
+/// Written with GNU vector extensions so the accumulators are explicit
+/// vector registers (GCC's auto-vectorizer spills a plain MR*NR scalar
+/// array): MR x NR/VL vector accumulators live across the whole k loop,
+/// each step loads MR + NR floats and issues MR*NR/VL fused mul-adds. The
+/// vector width VL follows the tile (8-float vectors for the AVX2 tile,
+/// 4-float for the portable one); targets without the matching ISA get
+/// the ops lowered by the compiler, so the template stays portable.
+template <std::size_t MR, std::size_t NR>
+inline void micro_kernel(std::size_t kc, const float* pa, const float* pb,
+                         float* acc) {
+  constexpr std::size_t VL = NR >= 16 ? 8 : 4;
+  static_assert(NR % VL == 0);
+  constexpr std::size_t NV = NR / VL;
+  typedef float vf __attribute__((vector_size(VL * sizeof(float))));
+
+  vf c[MR][NV] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* arow = pa + p * MR;
+    const float* brow = pb + p * NR;
+    vf b[NV];
+    for (std::size_t v = 0; v < NV; ++v)
+      __builtin_memcpy(&b[v], brow + v * VL, sizeof(vf));  // unaligned load
+    for (std::size_t ir = 0; ir < MR; ++ir) {
+      const float av = arow[ir];  // splatted by the vector-scalar op below
+      for (std::size_t v = 0; v < NV; ++v) c[ir][v] += b[v] * av;
+    }
+  }
+  for (std::size_t ir = 0; ir < MR; ++ir)
+    for (std::size_t v = 0; v < NV; ++v)
+      __builtin_memcpy(acc + ir * NR + v * VL, &c[ir][v], sizeof(vf));
+}
+
+/// The blocked driver: pack B strip -> pack A block -> register-tiled
+/// micro-kernel -> policy write-back.
+template <std::size_t MR, std::size_t NR, class BPack, class CStore>
+void sgemm_blocked_core(bool trans_a, std::size_t m, std::size_t n,
+                        std::size_t k, float alpha, const float* a,
+                        std::size_t lda, const BPack& bpack,
+                        const CStore& cstore, GemmScratch& scratch) {
+  static_assert(kMC % MR == 0, "MC must hold whole A panels");
+  for (std::size_t jc = 0; jc < n; jc += kNC) {
+    const std::size_t nc = std::min(kNC, n - jc);
+    const std::size_t nc_padded = (nc + NR - 1) / NR * NR;
+    for (std::size_t pc = 0; pc < k; pc += kKC) {
+      const std::size_t kc = std::min(kKC, k - pc);
+      const bool first_panel = pc == 0;
+      float* packed_b = grow(scratch.pack_b, kc * nc_padded);
+      bpack.template pack<NR>(pc, jc, kc, nc, packed_b);
+
+      for (std::size_t ic = 0; ic < m; ic += kMC) {
+        const std::size_t mc = std::min(kMC, m - ic);
+        const std::size_t mc_padded = (mc + MR - 1) / MR * MR;
+        float* packed_a = grow(scratch.pack_a, mc_padded * kc);
+        pack_block_a<MR>(trans_a, a, lda, ic, pc, mc, kc, packed_a);
+
+        // BLIS loop order: the NR strip of packed B is the outer loop (one
+        // strip lives in L1 and is reused by every A row panel); the
+        // MC x KC packed A block stays L2-resident and is re-streamed per
+        // strip. B is then read exactly once per k-panel.
+        for (std::size_t j0 = 0; j0 < nc; j0 += NR) {
+          const std::size_t nr = std::min(NR, nc - j0);
+          const float* pb = packed_b + (j0 / NR) * kc * NR;
+          for (std::size_t i0 = 0; i0 < mc; i0 += MR) {
+            const std::size_t mr = std::min(MR, mc - i0);
+            const float* pa = packed_a + (i0 / MR) * kc * MR;
+            float acc[MR * NR];  // fully written by the micro-kernel
+            micro_kernel<MR, NR>(kc, pa, pb, acc);
+            cstore.template store<NR>(first_panel, alpha, ic + i0, mr,
+                                      jc + j0, nr, acc);
+          }
+        }
+      }
+    }
+  }
+}
+
+template <std::size_t MR, std::size_t NR>
+void sgemm_blocked(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                   std::size_t k, float alpha, const float* a, std::size_t lda,
+                   const float* b, std::size_t ldb, float beta, float* c,
+                   std::size_t ldc, GemmScratch& scratch) {
+  sgemm_blocked_core<MR, NR>(trans_a, m, n, k, alpha, a, lda,
+                             PlainB{trans_b, b, ldb},
+                             PlainCStore{c, ldc, beta}, scratch);
+}
+
+/// Direct register-tiled stride-1 convolution: no packing at all. The
+/// sliding-window structure means every "column matrix" strip is just a
+/// shifted slice of an input row, so the micro-kernel reads x in place
+/// (the per-item input is L1-sized for the paper model) while MRC output
+/// channels x NR output positions accumulate in vector registers. This
+/// beats im2col+GEMM whenever Cout is small: packing traffic cannot be
+/// amortized over few GEMM rows, and here there is none.
+template <std::size_t MRC, std::size_t NR>
+void conv_direct(std::size_t cout, std::size_t out_len, std::size_t batch,
+                 const float* w, const float* bias, const float* x,
+                 std::size_t cin, std::size_t n, std::size_t kernel,
+                 std::size_t pad_left, std::size_t pad_right, float* out,
+                 GemmScratch& scratch) {
+  constexpr std::size_t VL = NR >= 16 ? 8 : 4;
+  static_assert(NR % VL == 0);
+  constexpr std::size_t NV = NR / VL;
+  typedef float vf __attribute__((vector_size(VL * sizeof(float))));
+  const std::size_t wrow_stride = cin * kernel;
+
+  // Zero padding is materialized once into an L1-sized staging copy of the
+  // item (plus NR floats of load slop), so every tap load in the hot loop
+  // is a plain unaligned vector load — no border branches, and the
+  // accumulators are only ever touched with whole-vector ops (a per-lane
+  // subscript would force them onto the stack).
+  const std::size_t np = pad_left + n + pad_right + NR;
+  float* xpad = grow_zeroed(scratch.pack_a, cin * np);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* xi = x + b * cin * n;
+    float* ob = out + b * cout * out_len;
+    for (std::size_t ci = 0; ci < cin; ++ci)
+      __builtin_memcpy(xpad + ci * np + pad_left, xi + ci * n,
+                       n * sizeof(float));
+    for (std::size_t co0 = 0; co0 < cout; co0 += MRC) {
+      const std::size_t mc = std::min(MRC, cout - co0);
+      for (std::size_t j0 = 0; j0 < out_len; j0 += NR) {
+        const std::size_t nr = std::min(NR, out_len - j0);
+        vf acc[MRC][NV];
+        for (std::size_t ir = 0; ir < MRC; ++ir) {
+          const float bv = (bias != nullptr && ir < mc) ? bias[co0 + ir] : 0.0f;
+          for (std::size_t v = 0; v < NV; ++v) acc[ir][v] = vf{} + bv;
+        }
+        for (std::size_t ci = 0; ci < cin; ++ci) {
+          // Output position j0+jr, tap t reads xpad[ci, j0 + jr + t].
+          const float* xrow = xpad + ci * np + j0;
+          const float* wtap = w + (co0 * cin + ci) * kernel;
+          for (std::size_t tap = 0; tap < kernel; ++tap) {
+            vf bv[NV];
+            for (std::size_t v = 0; v < NV; ++v)
+              __builtin_memcpy(&bv[v], xrow + tap + v * VL, sizeof(vf));
+            for (std::size_t ir = 0; ir < mc; ++ir) {
+              const float av = wtap[ir * wrow_stride + tap];
+              for (std::size_t v = 0; v < NV; ++v) acc[ir][v] += bv[v] * av;
+            }
+          }
+        }
+        for (std::size_t ir = 0; ir < mc; ++ir) {
+          float* crow = ob + (co0 + ir) * out_len + j0;
+          if (nr == NR) {
+            for (std::size_t v = 0; v < NV; ++v)
+              __builtin_memcpy(crow + v * VL, &acc[ir][v], sizeof(vf));
+          } else {
+            float tail[NR];
+            for (std::size_t v = 0; v < NV; ++v)
+              __builtin_memcpy(tail + v * VL, &acc[ir][v], sizeof(vf));
+            for (std::size_t jr = 0; jr < nr; ++jr) crow[jr] = tail[jr];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Fused batched conv forward: out[b] = W * im2col(x[b]) + bias for every
+/// batch item. Stride-1 convolutions use the pack-free direct kernel;
+/// strided ones run as ONE blocked GEMM (weights packed once per call)
+/// with a virtual column matrix and scattered output placement.
+template <std::size_t MR, std::size_t NR>
+void sgemm_conv_blocked(std::size_t cout, std::size_t out_len,
+                        std::size_t batch, const float* w, const float* bias,
+                        const float* x, std::size_t cin, std::size_t n,
+                        std::size_t kernel, std::size_t stride,
+                        std::size_t pad_left, float* out,
+                        GemmScratch& scratch) {
+  if (stride == 1) {
+    // 4 channel rows regardless of tile: acc pressure is MRC*NV + NV + 1
+    // vector registers. Padding totals are recovered from out_len.
+    const std::size_t pad_total = (out_len - 1) + kernel - n;
+    conv_direct<4, NR>(cout, out_len, batch, w, bias, x, cin, n, kernel,
+                       pad_left, pad_total - pad_left, out, scratch);
+    return;
+  }
+  sgemm_blocked_core<MR, NR>(
+      /*trans_a=*/false, cout, batch * out_len, cin * kernel, 1.0f, w,
+      cin * kernel, Im2colB{x, cin, n, kernel, stride, pad_left, out_len},
+      BatchedConvCStore{out, cout, out_len, bias}, scratch);
+}
+
+}  // namespace scalocate::nn::kernels::detail

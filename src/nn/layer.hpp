@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "nn/kernels/gemm.hpp"
 #include "nn/tensor.hpp"
 
 namespace scalocate::nn {
@@ -32,6 +33,16 @@ struct Param {
 
 class Layer;
 
+/// Pack buffers for the nn::kernels backend, shared by every layer routed
+/// through one workspace. The buffers are transient within a single layer
+/// call (no state survives between layers), so one set per concurrent
+/// caller suffices regardless of model depth.
+struct KernelScratch {
+  kernels::GemmScratch gemm;  ///< GEMM A/B packing panels
+  std::vector<float> col_a;   ///< im2col column matrix [Cin*K, out_len]
+  std::vector<float> col_b;   ///< backward column gradient (same shape)
+};
+
 /// Caller-owned scratch holding the per-layer activations a backward pass
 /// needs. Slots are keyed by layer identity, so a single workspace serves a
 /// whole module tree (Sequential/Residual children included). Reusing one
@@ -43,13 +54,25 @@ class Workspace {
     Tensor a;                        ///< primary cache (input / mask / xhat)
     std::vector<float> scalars;      ///< per-channel scalars (batch norm)
     std::vector<std::size_t> shape;  ///< cached input shape (pooling)
+    std::vector<std::size_t> indices;  ///< argmax positions (max pooling)
   };
 
   Slot& slot(const Layer* layer) { return slots_[layer]; }
   void clear() { slots_.clear(); }
 
+  /// Kernel-backend pack buffers (im2col panels, GEMM packing). Owned here
+  /// so const, thread-shared layers stay allocation- and state-free.
+  KernelScratch& kernels() { return kernel_scratch_; }
+
+  /// Reusable input-staging tensor for batched window scoring: callers
+  /// standardize trace windows directly into this tensor and hand it to
+  /// the model, avoiding any per-window staging copies.
+  Tensor& staging() { return staging_; }
+
  private:
   std::unordered_map<const Layer*, Slot> slots_;
+  KernelScratch kernel_scratch_;
+  Tensor staging_;
 };
 
 /// Base class of all layers/modules. Forward is const: it may read

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "nn/kernels/gemm.hpp"
+#include "nn/kernels/pointwise.hpp"
 
 namespace scalocate::nn {
 
@@ -24,18 +26,11 @@ Tensor Linear::forward(const Tensor& input, Workspace& ws) const {
   ws.slot(this).a = training_ ? input : Tensor();
   const std::size_t batch = input.dim(0);
   Tensor out({batch, out_features_});
-  const float* w = weight_.value.data();
-  const float* bias = bias_.value.data();
-  for (std::size_t b = 0; b < batch; ++b) {
-    const float* xrow = input.data() + b * in_features_;
-    float* orow = out.data() + b * out_features_;
-    for (std::size_t o = 0; o < out_features_; ++o) {
-      const float* wrow = w + o * in_features_;
-      float acc = bias[o];
-      for (std::size_t i = 0; i < in_features_; ++i) acc += wrow[i] * xrow[i];
-      orow[o] = acc;
-    }
-  }
+  // out = X [B, Fin] x W^T ([Fout, Fin] transposed), then the bias row.
+  kernels::sgemm(false, true, batch, out_features_, in_features_, 1.0f,
+                 input.data(), in_features_, weight_.value.data(), in_features_,
+                 0.0f, out.data(), out_features_, ws.kernels().gemm);
+  kernels::add_bias_cols(out.data(), bias_.value.data(), batch, out_features_);
   return out;
 }
 
@@ -48,24 +43,21 @@ Tensor Linear::backward(const Tensor& grad_output, Workspace& ws) {
                   "Linear::backward: grad shape mismatch");
 
   Tensor grad_input({batch, in_features_});
-  const float* w = weight_.value.data();
-  float* gw = weight_.grad.data();
+  kernels::GemmScratch& gemm = ws.kernels().gemm;
+  // dBias[o] += sum_b dY[b, o]; dY columns are features, so accumulate per
+  // batch row.
   float* gb = bias_.grad.data();
-  for (std::size_t b = 0; b < batch; ++b) {
-    const float* xrow = input.data() + b * in_features_;
-    const float* grow = grad_output.data() + b * out_features_;
-    float* gxrow = grad_input.data() + b * in_features_;
-    for (std::size_t o = 0; o < out_features_; ++o) {
-      const float g = grow[o];
-      gb[o] += g;
-      const float* wrow = w + o * in_features_;
-      float* gwrow = gw + o * in_features_;
-      for (std::size_t i = 0; i < in_features_; ++i) {
-        gwrow[i] += g * xrow[i];
-        gxrow[i] += g * wrow[i];
-      }
-    }
-  }
+  for (std::size_t b = 0; b < batch; ++b)
+    kernels::add_inplace(out_features_,
+                         grad_output.data() + b * out_features_, gb);
+  // dW += dY^T [Fout, B] x X [B, Fin]
+  kernels::sgemm(true, false, out_features_, in_features_, batch, 1.0f,
+                 grad_output.data(), out_features_, input.data(), in_features_,
+                 1.0f, weight_.grad.data(), in_features_, gemm);
+  // dX = dY [B, Fout] x W [Fout, Fin]
+  kernels::sgemm(false, false, batch, in_features_, out_features_, 1.0f,
+                 grad_output.data(), out_features_, weight_.value.data(),
+                 in_features_, 0.0f, grad_input.data(), in_features_, gemm);
   return grad_input;
 }
 

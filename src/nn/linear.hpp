@@ -1,4 +1,5 @@
 // Fully connected layer: input [B, F_in] -> output [B, F_out].
+// Both directions are single sgemm calls into the nn/kernels backend.
 #pragma once
 
 #include "nn/layer.hpp"

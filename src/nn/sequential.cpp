@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "nn/kernels/pointwise.hpp"
 
 namespace scalocate::nn {
 
@@ -13,8 +14,11 @@ Sequential& Sequential::add(LayerPtr layer) {
 }
 
 Tensor Sequential::forward(const Tensor& input, Workspace& ws) const {
-  Tensor x = input;
-  for (const auto& layer : layers_) x = layer->forward(x, ws);
+  if (layers_.empty()) return input;
+  // First layer reads `input` directly (no staging copy of the batch).
+  Tensor x = layers_.front()->forward(input, ws);
+  for (std::size_t i = 1; i < layers_.size(); ++i)
+    x = layers_[i]->forward(x, ws);
   return x;
 }
 
@@ -64,9 +68,7 @@ Tensor Residual::forward(const Tensor& input, Workspace& ws) const {
                   "Residual::forward: branch shapes differ: " +
                       main_out.shape_string() + " vs " +
                       shortcut.shape_string());
-  float* m = main_out.data();
-  const float* s = shortcut.data();
-  for (std::size_t i = 0; i < main_out.numel(); ++i) m[i] += s[i];
+  kernels::add_inplace(main_out.numel(), shortcut.data(), main_out.data());
   return main_out;
 }
 
@@ -74,17 +76,15 @@ Tensor Residual::backward(const Tensor& grad_output, Workspace& ws) {
   Tensor grad_main = main_->backward(grad_output, ws);
   if (projection_ != nullptr) {
     Tensor grad_proj = projection_->backward(grad_output, ws);
-    float* g = grad_main.data();
-    const float* p = grad_proj.data();
-    for (std::size_t i = 0; i < grad_main.numel(); ++i) g[i] += p[i];
+    kernels::add_inplace(grad_main.numel(), grad_proj.data(),
+                         grad_main.data());
     return grad_main;
   }
   // Identity shortcut: add grad_output directly.
   detail::require(grad_main.same_shape(grad_output),
                   "Residual::backward: shape mismatch");
-  float* g = grad_main.data();
-  const float* go = grad_output.data();
-  for (std::size_t i = 0; i < grad_main.numel(); ++i) g[i] += go[i];
+  kernels::add_inplace(grad_main.numel(), grad_output.data(),
+                       grad_main.data());
   return grad_main;
 }
 

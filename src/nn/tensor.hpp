@@ -6,6 +6,7 @@
 // training loop small, fast, and fully deterministic.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <initializer_list>
 #include <span>
@@ -37,17 +38,30 @@ class Tensor {
   std::span<float> flat() { return data_; }
   std::span<const float> flat() const { return data_; }
 
-  /// Element access (rank-checked in debug; hot paths use raw data()).
-  float& at(std::size_t i) { return data_[i]; }
-  float at(std::size_t i) const { return data_[i]; }
-  float& at(std::size_t i, std::size_t j) { return data_[i * stride_[0] + j]; }
+  /// Element access (rank/bounds-checked in debug; hot paths use raw
+  /// data()). The single-index overload is flat access for any rank.
+  float& at(std::size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  float at(std::size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  float& at(std::size_t i, std::size_t j) {
+    assert(rank() == 2 && i < shape_[0] && j < shape_[1]);
+    return data_[i * stride_[0] + j];
+  }
   float at(std::size_t i, std::size_t j) const {
+    assert(rank() == 2 && i < shape_[0] && j < shape_[1]);
     return data_[i * stride_[0] + j];
   }
   float& at(std::size_t i, std::size_t j, std::size_t k) {
+    assert(rank() == 3 && i < shape_[0] && j < shape_[1] && k < shape_[2]);
     return data_[i * stride_[0] + j * stride_[1] + k];
   }
   float at(std::size_t i, std::size_t j, std::size_t k) const {
+    assert(rank() == 3 && i < shape_[0] && j < shape_[1] && k < shape_[2]);
     return data_[i * stride_[0] + j * stride_[1] + k];
   }
 
@@ -59,6 +73,22 @@ class Tensor {
 
   /// Returns a copy with a new shape of equal numel.
   Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  /// In-place metadata-only reshape: the storage is reused (no realloc, no
+  /// copy; data() stays valid), so im2col round-trips and batch staging can
+  /// re-view one allocation. The new shape must have the same numel.
+  Tensor& reshape(std::vector<std::size_t> new_shape);
+  Tensor& reshape(std::initializer_list<std::size_t> new_shape) {
+    return reshape(std::vector<std::size_t>(new_shape));
+  }
+
+  /// Reshapes reusing the existing allocation when the new numel fits the
+  /// current storage capacity, reallocating (zero-filled) only on growth.
+  /// For reusable staging tensors (batched window scoring).
+  Tensor& resize(std::vector<std::size_t> new_shape);
+  Tensor& resize(std::initializer_list<std::size_t> new_shape) {
+    return resize(std::vector<std::size_t>(new_shape));
+  }
 
   /// "(2, 16, 192)" -- for error messages and summaries.
   std::string shape_string() const;

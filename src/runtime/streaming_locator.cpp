@@ -5,7 +5,6 @@
 
 #include "common/error.hpp"
 #include "common/signal.hpp"
-#include "core/dataset.hpp"
 
 namespace scalocate::runtime {
 
@@ -58,7 +57,6 @@ StreamingLocator::StreamingLocator(const core::CoLocator& locator,
                           locator.config().min_separation_fraction *
                           locator.mean_co_length())
                     : 0;
-  window_buf_.resize(window_);
 }
 
 void StreamingLocator::reset() {
@@ -109,19 +107,18 @@ void StreamingLocator::score_ready_windows() {
     while (count < batch_size_ &&
            (next_window_ + count) * stride_ + window_ <= ring_.size())
       ++count;
-    nn::Tensor inputs({count, 1, window_});
-    for (std::size_t i = 0; i < count; ++i) {
-      const std::size_t off = (next_window_ + i) * stride_;
-      const auto view = ring_.view(off, window_);
-      window_buf_.assign(view.begin(), view.end());
-      core::DatasetBuilder::standardize_window(window_buf_);
-      std::copy(window_buf_.begin(), window_buf_.end(),
-                inputs.data() + i * window_);
-    }
-    std::vector<float> scores(count);
-    classifier_.score_batch(inputs, scores.data(), ws_);
+    // Standardize each window straight from the ring into the workspace's
+    // staging tensor — the identical zero-copy batch path the offline
+    // SlidingWindowClassifier::score_into uses.
+    scores_buf_.resize(count);
+    classifier_.score_window_batch(
+        count,
+        [&](std::size_t i) {
+          return ring_.view((next_window_ + i) * stride_, window_);
+        },
+        scores_buf_.data(), ws_);
     for (std::size_t i = 0; i < count; ++i)
-      square_.push_back(scores[i] >= threshold_ ? 1.0f : -1.0f);
+      square_.push_back(scores_buf_[i] >= threshold_ ? 1.0f : -1.0f);
     next_window_ += count;
   }
 }

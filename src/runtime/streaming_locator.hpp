@@ -125,8 +125,9 @@ class StreamingLocator {
   std::optional<std::size_t> last_kept_;  ///< dedup state
   bool finished_ = false;
 
-  // Reused scratch.
-  std::vector<float> window_buf_;
+  // Reused scratch. (Window staging lives in ws_.staging(): windows are
+  // standardized from the ring directly into the batch tensor.)
+  std::vector<float> scores_buf_;
   std::vector<float> median_scratch_;
   std::vector<float> neighborhood_;
 };

@@ -1,10 +1,14 @@
-// Tests for the paper-CNN builder (Section III-B / Figure 2).
+// Tests for the paper-CNN builder (Section III-B / Figure 2) and the
+// zero-copy sliding-window scoring path built on top of it.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "core/dataset.hpp"
 #include "core/model.hpp"
+#include "core/sliding_window.hpp"
 #include "nn/loss.hpp"
 
 namespace scalocate::core {
@@ -91,6 +95,84 @@ TEST(PaperCnn, DescribeMentionsAllStages) {
   EXPECT_NE(desc.find("GlobalAvgPool1d"), std::string::npos);
   EXPECT_NE(desc.find("Linear(32->2)"), std::string::npos);
   EXPECT_NE(desc.find("Softmax"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SlidingWindowClassifier: the zero-copy score_into path
+// ---------------------------------------------------------------------------
+
+std::vector<float> random_trace(std::size_t n, std::uint64_t seed) {
+  std::vector<float> t(n);
+  Rng rng(seed);
+  for (float& v : t) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+TEST(SlidingWindow, NumWindowsEdgeCases) {
+  auto net = build_paper_cnn(CnnConfig::scaled());
+  net->set_training(false);
+  SlidingWindowClassifier c(*net, 192, 48);
+  EXPECT_EQ(c.num_windows(191), 0u);  // too short
+  EXPECT_EQ(c.num_windows(192), 1u);
+  EXPECT_EQ(c.num_windows(192 + 47), 1u);
+  EXPECT_EQ(c.num_windows(192 + 48), 2u);
+}
+
+TEST(SlidingWindow, ScoreIntoMatchesClassify) {
+  auto net = build_paper_cnn(CnnConfig::scaled());
+  net->set_training(false);
+  SlidingWindowClassifier c(*net, 192, 48, /*batch_size=*/7);
+  const auto trace = random_trace(2000, 11);
+
+  nn::Workspace ws_a, ws_b;
+  const auto result = c.classify(trace, ws_a);
+  std::vector<float> scores(c.num_windows(trace.size()), -1e30f);
+  c.score_into(trace, scores, ws_b);
+  ASSERT_EQ(result.scores.size(), scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i)
+    EXPECT_FLOAT_EQ(result.scores[i], scores[i]) << "window " << i;
+}
+
+TEST(SlidingWindow, ZeroCopyPathMatchesExplicitStaging) {
+  // The in-place standardize-into-batch path must produce exactly what
+  // the old copy-out/standardize/copy-in staging produced.
+  auto net = build_paper_cnn(CnnConfig::scaled());
+  net->set_training(false);
+  const std::size_t window = 192, stride = 48;
+  SlidingWindowClassifier c(*net, window, stride);
+  const auto trace = random_trace(1500, 13);
+
+  nn::Workspace ws;
+  const auto fast = c.classify(trace, ws);
+
+  const std::size_t n_windows = c.num_windows(trace.size());
+  std::vector<float> manual(n_windows);
+  for (std::size_t i = 0; i < n_windows; ++i) {
+    std::vector<float> buf(trace.begin() + static_cast<std::ptrdiff_t>(i * stride),
+                           trace.begin() + static_cast<std::ptrdiff_t>(i * stride + window));
+    DatasetBuilder::standardize_window(buf);
+    nn::Tensor one({1, 1, window});
+    std::copy(buf.begin(), buf.end(), one.data());
+    c.score_batch(one, manual.data() + i, ws);
+  }
+  ASSERT_EQ(fast.scores.size(), manual.size());
+  for (std::size_t i = 0; i < n_windows; ++i)
+    EXPECT_FLOAT_EQ(fast.scores[i], manual[i]) << "window " << i;
+}
+
+TEST(SlidingWindow, BatchSizeDoesNotChangeScores) {
+  // Batch grouping is an implementation detail: each row is independent,
+  // so any batch size must give identical scores.
+  auto net = build_paper_cnn(CnnConfig::scaled());
+  net->set_training(false);
+  const auto trace = random_trace(1800, 17);
+  SlidingWindowClassifier c1(*net, 192, 48, 1);
+  SlidingWindowClassifier c64(*net, 192, 48, 64);
+  const auto a = c1.classify(trace);
+  const auto b = c64.classify(trace);
+  ASSERT_EQ(a.scores.size(), b.scores.size());
+  for (std::size_t i = 0; i < a.scores.size(); ++i)
+    EXPECT_FLOAT_EQ(a.scores[i], b.scores[i]);
 }
 
 }  // namespace

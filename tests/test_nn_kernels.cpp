@@ -1,0 +1,427 @@
+// Kernel-backend parity suite: the blocked GEMM path vs the naive
+// reference kernels, im2col/col2im round trips, the fused pointwise ops,
+// Tensor reshape/view semantics, and gradient checks routed through the
+// new backend (Conv1d/Linear/MaxPool1d).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/gradcheck.hpp"
+#include "nn/init.hpp"
+#include "nn/kernels/gemm.hpp"
+#include "nn/kernels/pack.hpp"
+#include "nn/kernels/pointwise.hpp"
+#include "nn/kernels/reference.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/tensor.hpp"
+
+namespace scalocate::nn {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  std::vector<float> v(n);
+  Rng rng(seed);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed) {
+  Tensor t(std::move(shape));
+  Rng rng(seed);
+  for (float& v : t.flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+void expect_close(std::span<const float> a, std::span<const float> b,
+                  float tol, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float denom = std::max({1.0f, std::fabs(a[i]), std::fabs(b[i])});
+    ASSERT_NEAR(a[i], b[i], tol * denom) << what << " at index " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GEMM: blocked vs naive reference
+// ---------------------------------------------------------------------------
+
+struct GemmCase {
+  std::size_t m, n, k;
+};
+
+class GemmParity : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParity, AllTransposesAlphaBeta) {
+  const auto p = GetParam();
+  kernels::GemmScratch scratch;
+  std::uint64_t seed = 1000;
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      // Row-major storage of op(A) (m x k) and op(B) (k x n).
+      const auto a = random_vec(p.m * p.k, seed++);
+      const auto b = random_vec(p.k * p.n, seed++);
+      const std::size_t lda = ta ? p.m : p.k;
+      const std::size_t ldb = tb ? p.k : p.n;
+      for (float alpha : {1.0f, -0.5f}) {
+        for (float beta : {0.0f, 1.0f, 0.25f}) {
+          auto c_ref = random_vec(p.m * p.n, seed);
+          auto c_blk = c_ref;  // identical prior contents for beta != 0
+          kernels::sgemm_naive(ta, tb, p.m, p.n, p.k, alpha, a.data(), lda,
+                               b.data(), ldb, beta, c_ref.data(), p.n);
+          kernels::sgemm(ta, tb, p.m, p.n, p.k, alpha, a.data(), lda, b.data(),
+                         ldb, beta, c_blk.data(), p.n, scratch);
+          expect_close(c_blk, c_ref, 1e-5f, "gemm");
+        }
+      }
+      ++seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParity,
+    ::testing::Values(GemmCase{1, 1, 1}, GemmCase{3, 5, 7}, GemmCase{4, 8, 16},
+                      GemmCase{5, 9, 300},   // k spans multiple KC panels? no,
+                                             // but exercises long-k loop
+                      GemmCase{33, 17, 129}, // ragged in every dimension
+                      GemmCase{64, 192, 257},
+                      GemmCase{130, 40, 300}));  // m spans multiple MC blocks
+
+TEST(Gemm, KZeroAppliesBetaOnly) {
+  kernels::GemmScratch scratch;
+  std::vector<float> c = {1.f, 2.f, 3.f, 4.f};
+  kernels::sgemm(false, false, 2, 2, 0, 1.0f, nullptr, 1, nullptr, 1, 0.5f,
+                 c.data(), 2, scratch);
+  EXPECT_FLOAT_EQ(c[0], 0.5f);
+  EXPECT_FLOAT_EQ(c[3], 2.0f);
+  kernels::sgemm(false, false, 2, 2, 0, 1.0f, nullptr, 1, nullptr, 1, 0.0f,
+                 c.data(), 2, scratch);
+  for (float v : c) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Gemm, BetaZeroIgnoresGarbageC) {
+  kernels::GemmScratch scratch;
+  const auto a = random_vec(6, 1);
+  const auto b = random_vec(6, 2);
+  std::vector<float> c_ref(4, 0.0f);
+  std::vector<float> c(4, std::numeric_limits<float>::quiet_NaN());
+  kernels::sgemm_naive(false, false, 2, 2, 3, 1.0f, a.data(), 3, b.data(), 2,
+                       0.0f, c_ref.data(), 2);
+  kernels::sgemm(false, false, 2, 2, 3, 1.0f, a.data(), 3, b.data(), 2, 0.0f,
+                 c.data(), 2, scratch);
+  expect_close(c, c_ref, 1e-6f, "beta=0");
+}
+
+// ---------------------------------------------------------------------------
+// im2col / col2im
+// ---------------------------------------------------------------------------
+
+TEST(Im2Col, MatchesDirectIndexing) {
+  const std::size_t cin = 3, n = 11, k = 4, stride = 2, pad = 1;
+  const std::size_t out_len = kernels::conv_output_length(n, k, stride, pad, pad);
+  const auto x = random_vec(cin * n, 7);
+  std::vector<float> col(cin * k * out_len, -99.0f);
+  kernels::im2col(x.data(), cin, n, k, stride, pad, out_len, col.data());
+  for (std::size_t ci = 0; ci < cin; ++ci) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      for (std::size_t j = 0; j < out_len; ++j) {
+        const std::ptrdiff_t src = static_cast<std::ptrdiff_t>(j * stride + kk) -
+                                   static_cast<std::ptrdiff_t>(pad);
+        const float expected =
+            (src >= 0 && src < static_cast<std::ptrdiff_t>(n))
+                ? x[ci * n + static_cast<std::size_t>(src)]
+                : 0.0f;
+        ASSERT_FLOAT_EQ(col[(ci * k + kk) * out_len + j], expected)
+            << "ci=" << ci << " k=" << kk << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(Col2Im, IsAdjointOfIm2Col) {
+  // <im2col(x), c> == <x, col2im(c)> for random x, c — the defining
+  // property of the transpose, which is exactly what backward needs.
+  const std::size_t cin = 2, n = 9, k = 3, stride = 1, pad = 1;
+  const std::size_t out_len = kernels::conv_output_length(n, k, stride, pad, pad);
+  const auto x = random_vec(cin * n, 11);
+  const auto c = random_vec(cin * k * out_len, 13);
+  std::vector<float> col(cin * k * out_len);
+  kernels::im2col(x.data(), cin, n, k, stride, pad, out_len, col.data());
+  std::vector<float> xt(cin * n, 0.0f);
+  kernels::col2im(c.data(), cin, n, k, stride, pad, out_len, xt.data());
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < col.size(); ++i) lhs += col[i] * c[i];
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += x[i] * xt[i];
+  EXPECT_NEAR(lhs, rhs, 1e-4);
+}
+
+// ---------------------------------------------------------------------------
+// Conv1d / Linear layer parity against the naive reference kernels
+// ---------------------------------------------------------------------------
+
+struct ConvShape {
+  std::size_t batch, cin, cout, k, stride, n;
+  int pad;  // -1 = same padding
+};
+
+class ConvParity : public ::testing::TestWithParam<ConvShape> {};
+
+TEST_P(ConvParity, ForwardAndBackwardMatchReference) {
+  const auto p = GetParam();
+  Conv1d conv(p.cin, p.cout, p.k, p.stride, p.pad);
+  Rng rng(17);
+  he_normal_init(conv.weight().value, rng);
+  for (float& v : conv.bias().value.flat())
+    v = static_cast<float>(rng.uniform(-0.5, 0.5));
+  const auto x = random_tensor({p.batch, p.cin, p.n}, 19);
+  const std::size_t out_len = conv.output_length(p.n);
+
+  // Forward parity.
+  conv.set_training(true);
+  Workspace ws;
+  const Tensor y = conv.forward(x, ws);
+  std::vector<float> y_ref(p.batch * p.cout * out_len);
+  kernels::conv1d_forward_naive(x.data(), p.batch, p.cin, p.n,
+                                conv.weight().value.data(),
+                                conv.bias().value.data(), p.cout, p.k,
+                                p.stride, conv.pad_left(), out_len,
+                                y_ref.data());
+  expect_close(y.flat(), y_ref, 1e-4f, "conv forward");
+
+  // Backward parity (input, weight, and bias gradients).
+  const auto gout = random_tensor({p.batch, p.cout, out_len}, 23);
+  conv.weight().zero_grad();
+  conv.bias().zero_grad();
+  const Tensor gx = conv.backward(gout, ws);
+  std::vector<float> gx_ref(x.numel(), 0.0f);
+  std::vector<float> gw_ref(conv.weight().value.numel(), 0.0f);
+  std::vector<float> gb_ref(p.cout, 0.0f);
+  kernels::conv1d_backward_naive(x.data(), p.batch, p.cin, p.n,
+                                 conv.weight().value.data(), p.cout, p.k,
+                                 p.stride, conv.pad_left(), out_len,
+                                 gout.data(), gx_ref.data(), gw_ref.data(),
+                                 gb_ref.data());
+  expect_close(gx.flat(), gx_ref, 1e-4f, "conv grad_input");
+  expect_close(conv.weight().grad.flat(), gw_ref, 1e-4f, "conv grad_weight");
+  expect_close(conv.bias().grad.flat(), gb_ref, 1e-4f, "conv grad_bias");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvParity,
+    ::testing::Values(ConvShape{2, 1, 4, 3, 1, 16, -1},   // tiny same-pad
+                      ConvShape{1, 1, 16, 16, 1, 192, -1},  // paper entry conv
+                      ConvShape{2, 16, 32, 16, 1, 192, -1},  // paper widening
+                      ConvShape{1, 16, 32, 1, 1, 50, 0},  // 1x1 projection
+                      ConvShape{2, 3, 5, 4, 2, 37, -1},   // even k, stride 2
+                      ConvShape{1, 2, 2, 5, 3, 29, 0},    // no pad, stride 3
+                      ConvShape{3, 4, 4, 7, 1, 21, 2}));  // explicit pad
+
+TEST(LinearParity, ForwardAndBackwardMatchReference) {
+  Linear lin(37, 11);
+  Rng rng(29);
+  he_normal_init(lin.weight().value, rng);
+  for (float& v : lin.bias().value.flat())
+    v = static_cast<float>(rng.uniform(-0.5, 0.5));
+  const auto x = random_tensor({5, 37}, 31);
+
+  Workspace ws;
+  lin.set_training(true);
+  const Tensor y = lin.forward(x, ws);
+  std::vector<float> y_ref(5 * 11);
+  kernels::linear_forward_naive(x.data(), 5, 37, lin.weight().value.data(),
+                                lin.bias().value.data(), 11, y_ref.data());
+  expect_close(y.flat(), y_ref, 1e-4f, "linear forward");
+
+  const auto gout = random_tensor({5, 11}, 37);
+  lin.weight().zero_grad();
+  lin.bias().zero_grad();
+  const Tensor gx = lin.backward(gout, ws);
+  std::vector<float> gx_ref(x.numel(), 0.0f);
+  std::vector<float> gw_ref(lin.weight().value.numel(), 0.0f);
+  std::vector<float> gb_ref(11, 0.0f);
+  kernels::linear_backward_naive(x.data(), 5, 37, lin.weight().value.data(),
+                                 11, gout.data(), gx_ref.data(), gw_ref.data(),
+                                 gb_ref.data());
+  expect_close(gx.flat(), gx_ref, 1e-4f, "linear grad_input");
+  expect_close(lin.weight().grad.flat(), gw_ref, 1e-4f, "linear grad_weight");
+  expect_close(lin.bias().grad.flat(), gb_ref, 1e-4f, "linear grad_bias");
+}
+
+// ---------------------------------------------------------------------------
+// Gradient checks through the GEMM backend
+// ---------------------------------------------------------------------------
+
+TEST(KernelGradcheck, ConvThroughGemmBackend) {
+  for (const auto& p :
+       {ConvShape{2, 2, 3, 5, 1, 14, -1}, ConvShape{1, 3, 2, 4, 2, 13, -1},
+        ConvShape{2, 2, 2, 1, 1, 8, 0}}) {
+    Conv1d conv(p.cin, p.cout, p.k, p.stride, p.pad);
+    Rng rng(41);
+    he_normal_init(conv.weight().value, rng);
+    const auto x = random_tensor({p.batch, p.cin, p.n}, 43);
+    // Slightly larger FD step than the default: near-zero gradient entries
+    // otherwise sit at the float forward-pass noise floor and trip the
+    // relative bound (the FMA contraction of the GEMM path shifts rounding
+    // by a few ulp vs plain mul+add).
+    const auto result = check_layer_gradients(conv, x, /*epsilon=*/4e-3);
+    EXPECT_TRUE(result.passed)
+        << "k=" << p.k << " s=" << p.stride
+        << " abs=" << result.max_abs_error << " rel=" << result.max_rel_error;
+  }
+}
+
+TEST(KernelGradcheck, LinearThroughGemmBackend) {
+  Linear lin(9, 6);
+  Rng rng(47);
+  he_normal_init(lin.weight().value, rng);
+  EXPECT_TRUE(check_layer_gradients(lin, random_tensor({3, 9}, 53)).passed);
+}
+
+// ---------------------------------------------------------------------------
+// MaxPool1d
+// ---------------------------------------------------------------------------
+
+TEST(MaxPool, KnownValues) {
+  MaxPool1d pool(2);  // stride defaults to kernel (non-overlapping)
+  const auto y = pool.forward(
+      Tensor::from_data({1, 1, 6}, {1.f, 3.f, -2.f, -5.f, 7.f, 7.f}));
+  ASSERT_EQ(y.dim(2), 3u);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), 3.f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1), -2.f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 2), 7.f);
+}
+
+TEST(MaxPool, OverlappingStride) {
+  MaxPool1d pool(3, 1);
+  const auto y =
+      pool.forward(Tensor::from_data({1, 1, 5}, {0.f, 1.f, 2.f, 1.f, 0.f}));
+  ASSERT_EQ(y.dim(2), 3u);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), 2.f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1), 2.f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 2), 2.f);
+}
+
+TEST(MaxPool, Gradient) {
+  for (std::size_t stride : {0u, 1u, 2u}) {
+    MaxPool1d pool(3, stride);
+    const auto result =
+        check_layer_gradients(pool, random_tensor({2, 2, 9}, 59));
+    EXPECT_TRUE(result.passed) << "stride=" << stride;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pointwise kernels
+// ---------------------------------------------------------------------------
+
+TEST(Pointwise, BiasReluRowsFusesBothOps) {
+  std::vector<float> c = {-1.f, 0.5f, 1.f, -2.f};
+  const std::vector<float> bias = {0.25f, 1.f};
+  kernels::bias_relu_rows(c.data(), bias.data(), 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 0.0f);   // -1 + 0.25 clamped
+  EXPECT_FLOAT_EQ(c[1], 0.75f);
+  EXPECT_FLOAT_EQ(c[2], 2.0f);   // 1 + 1
+  EXPECT_FLOAT_EQ(c[3], 0.0f);
+}
+
+TEST(Pointwise, AxpyAndAdd) {
+  std::vector<float> y = {1.f, 2.f};
+  const std::vector<float> x = {10.f, -10.f};
+  kernels::axpy(2, 0.5f, x.data(), y.data());
+  EXPECT_FLOAT_EQ(y[0], 6.f);
+  EXPECT_FLOAT_EQ(y[1], -3.f);
+  kernels::add_inplace(2, x.data(), y.data());
+  EXPECT_FLOAT_EQ(y[0], 16.f);
+}
+
+TEST(Pointwise, ScaleShiftAndNormalize) {
+  const std::vector<float> x = {1.f, 2.f, 3.f};
+  std::vector<float> y(3), xhat(3);
+  kernels::scale_shift(3, x.data(), 2.0f, -1.0f, y.data());
+  EXPECT_FLOAT_EQ(y[1], 3.0f);
+  kernels::normalize_scale_shift(3, x.data(), 2.0f, 0.5f, 3.0f, 1.0f,
+                                 xhat.data(), y.data());
+  EXPECT_FLOAT_EQ(xhat[0], -0.5f);  // (1-2)*0.5
+  EXPECT_FLOAT_EQ(y[0], -0.5f);     // 3*(-0.5)+1
+  EXPECT_FLOAT_EQ(xhat[2], 0.5f);
+}
+
+TEST(Pointwise, StandardizeMatchesDefinition) {
+  const auto src = random_vec(64, 61);
+  std::vector<float> dst(64);
+  kernels::standardize(src, dst.data());
+  double m = 0.0;
+  for (float v : dst) m += v;
+  m /= 64.0;
+  double var = 0.0;
+  for (float v : dst) var += (v - m) * (v - m);
+  var /= 64.0;
+  EXPECT_NEAR(m, 0.0, 1e-6);
+  EXPECT_NEAR(var, 1.0, 1e-5);
+}
+
+TEST(Pointwise, StandardizeConstantWindowIsZero) {
+  const std::vector<float> src(16, 3.25f);
+  std::vector<float> dst(16, 99.f);
+  kernels::standardize(src, dst.data());
+  for (float v : dst) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Pointwise, StandardizeInPlaceAliasingIsSafe) {
+  // DatasetBuilder::standardize_window standardizes a vector onto itself;
+  // the kernel computes both statistics before writing, so src == dst must
+  // be supported.
+  auto v = random_vec(32, 67);
+  auto expected = v;
+  std::vector<float> out(32);
+  kernels::standardize(expected, out.data());
+  kernels::standardize(v, v.data());
+  expect_close(v, out, 1e-6f, "in-place standardize");
+}
+
+// ---------------------------------------------------------------------------
+// Tensor reshape/view
+// ---------------------------------------------------------------------------
+
+TEST(TensorReshape, ReusesStorage) {
+  Tensor t({4, 6});
+  const float* before = t.data();
+  t.reshape({2, 12});
+  EXPECT_EQ(t.data(), before);  // no realloc, no copy
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 12u);
+  t.reshape({24});
+  EXPECT_EQ(t.data(), before);
+  EXPECT_EQ(t.rank(), 1u);
+}
+
+TEST(TensorReshape, StridesFollowNewShape) {
+  Tensor t({2, 3, 4});
+  for (std::size_t i = 0; i < t.numel(); ++i) t.at(i) = static_cast<float>(i);
+  t.reshape({4, 6});
+  EXPECT_FLOAT_EQ(t.at(1, 2), 8.0f);  // row-major flat index 1*6+2
+}
+
+TEST(TensorReshape, NumelMismatchThrows) {
+  Tensor t({3, 5});
+  EXPECT_THROW(t.reshape({4, 4}), Error);
+}
+
+TEST(TensorResize, ShrinkKeepsAllocation) {
+  Tensor t({8, 1, 64});
+  const float* before = t.data();
+  t.resize({3, 1, 64});
+  EXPECT_EQ(t.data(), before);
+  EXPECT_EQ(t.dim(0), 3u);
+  t.resize({8, 1, 64});  // regrow within capacity
+  EXPECT_EQ(t.data(), before);
+}
+
+}  // namespace
+}  // namespace scalocate::nn

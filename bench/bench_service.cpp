@@ -1,7 +1,7 @@
-// Concurrent serving benchmark for the runtime subsystem: traces/sec and
-// p50/p99 job latency of the LocatorService on the Table-2 workload
+// Concurrent serving benchmark through the api facade: traces/sec and
+// p50/p99 job latency of an Engine/Session on the Table-2 workload
 // (AES-128 under RD-2) as the worker count grows, plus the streaming
-// locator's single-stream overhead vs the offline path.
+// session's single-stream overhead vs the offline path.
 //
 // One model is trained once and shared read-only by every worker; each
 // worker owns only its activation workspace. On a machine with >= 4 cores
@@ -11,9 +11,8 @@
 // SCALOCATE_SCALE scales the workload (0.25 = CI smoke run).
 #include <cstdio>
 
+#include "api/scalocate.hpp"
 #include "bench_common.hpp"
-#include "runtime/locator_service.hpp"
-#include "runtime/streaming_locator.hpp"
 
 using namespace scalocate;
 
@@ -48,14 +47,16 @@ int main() {
               "p50 ms", "p99 ms", "mean ms", "speedup");
   double baseline_tput = 0.0;
   for (std::size_t workers : {1u, 2u, 4u, 8u}) {
-    runtime::LocatorService service(setup.locator, {.workers = workers});
-    std::vector<std::future<runtime::LocatorService::TimedResult>> futures;
+    api::Engine engine({.workers = workers});
+    engine.attach_model(setup.locator);
+    auto session = engine.open_session();
+    std::vector<std::future<api::Session::TimedResult>> futures;
     futures.reserve(n_jobs);
 
     bench::Timer wall;
     for (std::size_t j = 0; j < n_jobs; ++j)
       futures.push_back(
-          service.submit_timed(traces[j % traces.size()].samples));
+          session.submit_timed(traces[j % traces.size()].samples));
 
     std::vector<double> latencies;
     latencies.reserve(n_jobs);
@@ -85,7 +86,9 @@ int main() {
   const auto offline = setup.locator.locate(probe.samples);
   const double offline_s = offline_timer.seconds();
 
-  runtime::StreamingLocator streaming(setup.locator);
+  api::Engine stream_engine({.workers = 1});
+  stream_engine.attach_model(setup.locator);
+  auto streaming = stream_engine.open_session().open_stream();
   bench::Timer stream_timer;
   std::size_t streamed = 0;
   const std::span<const float> samples(probe.samples);

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/locator.hpp"
+#include "api/scalocate.hpp"
 #include "core/metrics.hpp"
 #include "sca/cpa.hpp"
 #include "trace/scenario.hpp"
@@ -42,6 +42,13 @@ int main(int argc, char** argv) {
   std::printf("[profiling] locator test accuracy: %.1f%%\n",
               100.0 * report.test_confusion.accuracy());
 
+  // The attack rig serves the trained model through the api facade (an
+  // engine adopting the in-process locator; a remote rig would
+  // export_artifact + load_artifact instead).
+  api::Engine engine({.workers = 2});
+  engine.add_model(std::move(locator));
+  auto session = engine.open_session();
+
   // --- attack phase on the victim device -----------------------------------
   crypto::Key16 secret_key{};
   for (int i = 0; i < 16; ++i)
@@ -53,8 +60,10 @@ int main(int argc, char** argv) {
       trace::acquire_eval_trace(scenario, n_cos, secret_key, /*noise=*/false);
 
   std::printf("[attack] locating and aligning the COs...\n");
-  const auto seg_len = static_cast<std::size_t>(locator.mean_co_length() * 0.2);
-  const auto aligned = locator.locate_and_align(victim.samples, seg_len);
+  const double mean_co = session.locator().mean_co_length();
+  const auto seg_len = static_cast<std::size_t>(mean_co * 0.2);
+  const auto starts = session.submit_view(victim.samples).get();
+  const auto aligned = core::align_cos(victim.samples, starts, seg_len);
   std::printf("[attack] %zu aligned segments of %zu samples\n",
               aligned.segments.size(), aligned.segment_length);
 
@@ -78,7 +87,7 @@ int main(int argc, char** argv) {
         best = j;
       }
     }
-    if (best_d > static_cast<std::size_t>(locator.mean_co_length() / 2)) continue;
+    if (best_d > static_cast<std::size_t>(mean_co / 2)) continue;
     cpa.add_trace(aligned.segments[i], victim.cos[best].plaintext);
     ++fed;
   }

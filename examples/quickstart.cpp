@@ -1,17 +1,22 @@
-// Quickstart: train a CO locator on simulated clone-device captures and
-// locate AES executions in a fresh protected trace.
+// Quickstart: train a CO locator on simulated clone-device captures, export
+// it as a versioned model artifact, and serve it through the stable
+// scalocate::api facade.
 //
 //   $ ./examples/quickstart
 //
-// Walks through the full paper pipeline at a small scale (~1 minute):
+// Walks through the full train-once/serve-anywhere flow at a small scale
+// (~1 minute):
 //   1. acquire profiling captures (NOP-sled single-CO traces) and a noise
 //      trace on the "clone device" (the SoC simulator, RD-4 active);
-//   2. train the CNN locator (dataset creation -> training -> calibration);
-//   3. capture an evaluation trace with unknown CO positions and locate
-//      them; compare against the simulator's ground truth.
+//   2. train the CNN locator (dataset creation -> training -> calibration)
+//      and export it to a self-describing artifact;
+//   3. load the artifact into an Engine — exactly what a fresh serving
+//      process would do — and locate COs in an unseen protected trace
+//      through a Session.
 #include <cstdio>
+#include <filesystem>
 
-#include "core/locator.hpp"
+#include "api/scalocate.hpp"
 #include "core/metrics.hpp"
 #include "trace/scenario.hpp"
 
@@ -34,7 +39,7 @@ int main() {
   std::printf("      mean CO length: %.0f samples (RD-4 active)\n",
               static_cast<double>(captures.captures.front().samples.size()));
 
-  // --- 2. train the locator -------------------------------------------------
+  // --- 2. train the locator and export the artifact -------------------------
   core::LocatorConfig config;
   config.params = core::PipelineParams::defaults_for(scenario.cipher);
   config.params.sizes = {224, 160, 96};  // demo-sized dataset
@@ -46,14 +51,28 @@ int main() {
   std::printf("      test accuracy: %.1f%% (best epoch %zu)\n",
               100.0 * report.test_confusion.accuracy(), report.best_epoch + 1);
 
-  // --- 3. locate COs in a new capture ---------------------------------------
+  const auto artifact =
+      (std::filesystem::temp_directory_path() / "quickstart.scart").string();
+  locator.export_artifact(artifact);
+  std::printf("      exported model artifact: %s (%ju bytes)\n",
+              artifact.c_str(),
+              static_cast<std::uintmax_t>(std::filesystem::file_size(artifact)));
+
+  // --- 3. serve the artifact through the api facade -------------------------
+  // A deployment does only this part: no trainer, no acquisition — just the
+  // artifact file. (load_artifact validates magic/version/architecture and
+  // throws a structured api::Artifact* error on any mismatch.)
+  api::Engine engine({.workers = 4});
+  engine.load_artifact(artifact);
+  auto session = engine.open_session();
+
   crypto::Key16 victim_key{};  // unknown to the attacker in a real attack
   victim_key[5] = 0x99;
   const auto eval =
       trace::acquire_eval_trace(scenario, 12, victim_key, /*noise=*/true);
 
   std::printf("[3/3] locating COs in a %zu-sample capture...\n", eval.size());
-  const auto located = locator.locate(eval.samples);
+  const auto located = session.submit_view(eval.samples).get();
 
   const auto score =
       core::score_hits(located, eval.co_starts(), config.params.n_inf / 2);
@@ -64,5 +83,6 @@ int main() {
 
   for (std::size_t i = 0; i < located.size(); ++i)
     std::printf("      CO %2zu @ sample %zu\n", i, located[i]);
+  std::filesystem::remove(artifact);
   return score.hit_rate() > 0.5 ? 0 : 1;
 }

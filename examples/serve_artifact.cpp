@@ -1,0 +1,165 @@
+// Train-once / serve-anywhere smoke: exercises the deployment path end to
+// end across two separate processes.
+//
+//   $ ./serve_artifact train /tmp/camellia.scart   # clone device: train + export
+//   $ ./serve_artifact serve /tmp/camellia.scart   # fresh process: load + locate
+//
+// Both modes rebuild the same deterministic evaluation trace (seeded
+// simulator) and print its detections as `whole:` (Session::submit) and
+// `stream:` (Session::open_stream, 2048-sample chunks). The CI job diffs
+// those lines between the two processes: an artifact round trip must be
+// bit-identical to the in-process trained locator, for both workloads.
+//
+// SCALOCATE_SCALE scales the training workload (0.25 = CI smoke);
+// SCALOCATE_EPOCHS overrides the training epochs.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "api/scalocate.hpp"
+#include "core/metrics.hpp"
+#include "trace/scenario.hpp"
+
+using namespace scalocate;
+
+namespace {
+
+double env_scale() {
+  if (const char* s = std::getenv("SCALOCATE_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+std::size_t scaled(std::size_t base) {
+  const auto v = static_cast<std::size_t>(static_cast<double>(base) * env_scale());
+  return v > 0 ? v : 1;
+}
+
+trace::ScenarioConfig scenario() {
+  trace::ScenarioConfig sc;
+  sc.cipher = crypto::CipherId::kAes128;  // the Table-2 serving workload
+  sc.random_delay = trace::RandomDelayConfig::kRd2;
+  sc.seed = 11;
+  return sc;
+}
+
+crypto::Key16 victim_key() {
+  crypto::Key16 key{};
+  for (int i = 0; i < 16; ++i)
+    key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(0xa0 + i);
+  return key;
+}
+
+/// The evaluation capture both processes locate: fully determined by the
+/// scenario seed, so the clone process and the serving process see the
+/// same samples without shipping them.
+trace::Trace eval_trace() {
+  return trace::acquire_eval_trace(scenario(), 10, victim_key(), false);
+}
+
+void print_starts(const char* tag, const std::vector<std::size_t>& starts) {
+  std::printf("%s:", tag);
+  for (std::size_t s : starts) std::printf(" %zu", s);
+  std::printf("\n");
+}
+
+int run_train(const std::string& path) {
+  const auto sc = scenario();
+  crypto::Key16 profiling_key{};
+  profiling_key[0] = 0x2b;
+
+  std::printf("[train] acquiring %zu captures on the clone device...\n",
+              scaled(256));
+  const auto captures =
+      trace::acquire_cipher_traces(sc, scaled(256), profiling_key);
+  const auto noise = trace::acquire_noise_trace(sc, scaled(100000));
+
+  core::LocatorConfig config;
+  config.params = core::PipelineParams::defaults_for(sc.cipher);
+  // Dataset sizes stay at the cipher defaults (windows are cycled over the
+  // captures); SCALOCATE_SCALE only shrinks the acquisition workload.
+  config.params.epochs = 6;
+  if (const char* e = std::getenv("SCALOCATE_EPOCHS")) {
+    const int v = std::atoi(e);
+    if (v > 0) config.params.epochs = static_cast<std::size_t>(v);
+  }
+  // Fix the decision threshold so offline and streamed detections agree
+  // (whole-trace Otsu is unavailable online).
+  config.params.threshold = 0.0f;
+
+  std::printf("[train] training the locator...\n");
+  core::CoLocator locator(config);
+  const auto report = locator.train(captures, noise);
+  std::printf("[train] test accuracy %.1f%%\n",
+              100.0 * report.test_confusion.accuracy());
+
+  locator.export_artifact(path);
+  std::printf("[train] exported artifact to %s\n", path.c_str());
+
+  // In-process reference detections (the numbers the serving process must
+  // reproduce bit-for-bit from the artifact alone).
+  const auto eval = eval_trace();
+  print_starts("whole", locator.locate(eval.samples));
+
+  api::Engine engine({.workers = 2});
+  engine.attach_model(locator);
+  auto stream = engine.open_session().open_stream();
+  std::vector<std::size_t> streamed;
+  const std::span<const float> samples(eval.samples);
+  for (std::size_t off = 0; off < samples.size(); off += 2048)
+    for (const auto& d : stream.feed(samples.subspan(
+             off, std::min<std::size_t>(2048, samples.size() - off))))
+      streamed.push_back(d.start);
+  for (const auto& d : stream.finish()) streamed.push_back(d.start);
+  print_starts("stream", streamed);
+
+  const auto score = core::score_hits(streamed, eval.co_starts(),
+                                      config.params.n_inf / 2);
+  std::printf("[train] %zu/%zu true COs hit\n", score.hits, score.true_cos);
+  return score.hits > 0 ? 0 : 1;
+}
+
+int run_serve(const std::string& path) {
+  std::printf("[serve] loading artifact %s (no training)...\n", path.c_str());
+  api::Engine engine({.workers = 2});
+  const auto cipher = engine.load_artifact(path);
+  for (const auto& m : engine.models())
+    std::printf("[serve] serving %s (n_inf=%zu stride=%zu offset=%td)\n",
+                m.display_name.c_str(), m.n_inf, m.stride,
+                m.calibration_offset);
+
+  const auto eval = eval_trace();
+  auto session = engine.open_session(cipher);
+  print_starts("whole", session.submit_view(eval.samples).get());
+
+  auto stream = session.open_stream();
+  std::vector<std::size_t> streamed;
+  const std::span<const float> samples(eval.samples);
+  for (std::size_t off = 0; off < samples.size(); off += 2048)
+    for (const auto& d : stream.feed(samples.subspan(
+             off, std::min<std::size_t>(2048, samples.size() - off))))
+      streamed.push_back(d.start);
+  for (const auto& d : stream.finish()) streamed.push_back(d.start);
+  print_starts("stream", streamed);
+  return streamed.empty() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3 || (std::strcmp(argv[1], "train") != 0 &&
+                    std::strcmp(argv[1], "serve") != 0)) {
+    std::fprintf(stderr, "usage: %s train|serve <artifact-path>\n", argv[0]);
+    return 2;
+  }
+  try {
+    return std::strcmp(argv[1], "train") == 0 ? run_train(argv[2])
+                                              : run_serve(argv[2]);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
+}

@@ -1,15 +1,14 @@
-// Streaming localization demo: a trace "arrives" from the scope in small
-// chunks and CO starts are reported online, while the capture is still
-// running — with exactly the detections the offline CoLocator would
-// produce on the full recording.
+// Streaming localization demo through the api facade: a trace "arrives"
+// from the scope in small chunks and CO starts are reported online via the
+// Session/Stream API, while the capture is still running — with exactly
+// the detections the offline pipeline would produce on the full recording.
 //
 // Build & run:  ./streaming_locate   (SCALOCATE_EPOCHS=4 for a quick run)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/locator.hpp"
-#include "runtime/streaming_locator.hpp"
+#include "api/scalocate.hpp"
 #include "trace/scenario.hpp"
 
 using namespace scalocate;
@@ -40,43 +39,47 @@ int main() {
   std::printf("trained: test accuracy %.3f, calibration offset %td\n\n",
               report.test_confusion.accuracy(), locator.calibration_offset());
 
+  // Serve through the facade. The locator is borrowed (attach_model) so the
+  // offline cross-check below can still use it directly.
+  api::Engine engine({.workers = 2});
+  engine.attach_model(locator);
+  auto session = engine.open_session();
+
   // --- "live" capture: feed 1024-sample chunks as they arrive --------------
   const auto eval = trace::acquire_eval_trace(sc, 10, key, false);
   const std::span<const float> samples(eval.samples);
   constexpr std::size_t kChunk = 1024;
 
-  runtime::StreamingLocator streaming(locator);
+  auto stream = session.open_stream();
   std::printf("streaming %zu samples in %zu-sample chunks "
               "(threshold %.2f, median k=%zu):\n",
-              samples.size(), kChunk, static_cast<double>(streaming.threshold()),
-              streaming.median_k());
+              samples.size(), kChunk, static_cast<double>(stream.threshold()),
+              stream.median_k());
 
+  // Push delivery: the callback fires as each detection becomes final.
   std::size_t detections = 0;
-  for (std::size_t off = 0; off < samples.size(); off += kChunk) {
-    const std::size_t n = std::min(kChunk, samples.size() - off);
-    for (const auto& d : streaming.feed(samples.subspan(off, n))) {
-      // Emission lag: how far the stream head had advanced past the CO
-      // start when the detection became final.
-      std::printf("  CO #%zu at sample %8zu  (edge %8zu, emitted at head "
-                  "%8zu, lag %6zu, resident %6zu)\n",
-                  ++detections, d.start, d.raw_edge, streaming.samples_consumed(),
-                  streaming.samples_consumed() - d.start,
-                  streaming.resident_samples());
-    }
-  }
-  for (const auto& d : streaming.finish())
-    std::printf("  CO #%zu at sample %8zu  (flushed at end-of-stream)\n",
-                ++detections, d.start);
+  stream.on_detection([&](const api::Detection& d) {
+    // Emission lag: how far the stream head had advanced past the CO
+    // start when the detection became final.
+    std::printf("  CO #%zu at sample %8zu  (edge %8zu, emitted at head "
+                "%8zu, lag %6zu, resident %6zu)\n",
+                ++detections, d.start, d.raw_edge, stream.samples_consumed(),
+                stream.samples_consumed() - d.start, stream.resident_samples());
+  });
+  for (std::size_t off = 0; off < samples.size(); off += kChunk)
+    stream.feed(samples.subspan(off, std::min(kChunk, samples.size() - off)));
+  stream.finish();
 
   // --- cross-check against the offline pipeline ----------------------------
-  const auto offline = locator.locate(samples);
+  const auto offline = session.submit_view(eval.samples).get();
   const auto truth = eval.co_starts();
   std::printf("\nstreaming found %zu COs, offline %zu, ground truth %zu\n",
               detections, offline.size(), truth.size());
   std::printf("parity with offline: %s\n",
               [&] {
+                // Poll-style second pass over the same model.
+                auto again = session.open_stream();
                 std::vector<std::size_t> got;
-                runtime::StreamingLocator again(locator);
                 for (const auto& d : again.feed(samples)) got.push_back(d.start);
                 for (const auto& d : again.finish()) got.push_back(d.start);
                 return got == offline;

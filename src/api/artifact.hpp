@@ -1,0 +1,70 @@
+// Versioned model artifacts: train once, serve anywhere.
+//
+// An artifact is a single self-describing binary bundle holding everything
+// a fresh process needs to serve a trained CoLocator without retraining:
+//
+//   offset  field
+//   ------  -----------------------------------------------------------
+//        0  u64 magic "SLOCART1" (kArtifactMagic, little-endian)
+//        8  u32 format version (kArtifactVersion)
+//       12  u32 cipher id (crypto::CipherId, Table I order)
+//       16  CnnConfig architecture descriptor (4 x u64: base_filters,
+//           kernel_size, fc_hidden, init_seed)
+//       48  PipelineParams (fixed-size fields in declaration order)
+//       ..  LocatorConfig extras (seed, calibration_captures, fine_align,
+//           fine_template_length, fine_search_radius,
+//           min_separation_fraction)
+//       ..  calibration results (coarse/fine offset, mean CO length,
+//           calibrated Otsu threshold, fine-alignment template)
+//       ..  CNN weights + batch-norm buffers, self-describing
+//           (nn::write_module_payload: per-parameter name + shape + data)
+//   end-12  u32 CRC-32 (IEEE) over every byte between the magic and this
+//           trailer — catches bit rot / tampering inside otherwise
+//           well-formed fields
+//    end-8  u64 end marker (kArtifactEnd)
+//
+// Versioning policy: the version is bumped on any layout change; loaders
+// accept exactly their own version (no silent migration). Loading is
+// shape-validated field by field and raises the structured subtypes in
+// api/errors.hpp instead of crashing or returning garbage.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "api/errors.hpp"
+#include "core/locator.hpp"
+
+namespace scalocate::api {
+
+constexpr std::uint64_t kArtifactMagic = 0x31545241434f4c53ULL;  // "SLOCART1"
+constexpr std::uint32_t kArtifactVersion = 1;
+constexpr std::uint64_t kArtifactEnd = 0x444e455f54524103ULL;
+
+/// Stable byte offsets of the fixed header prefix (corruption tests and
+/// external tooling rely on these within one format version).
+constexpr std::size_t kVersionOffset = 8;
+constexpr std::size_t kCipherOffset = 12;
+constexpr std::size_t kCnnConfigOffset = 16;
+constexpr std::size_t kCnnKernelSizeOffset = kCnnConfigOffset + 8;
+/// Trailer: u32 CRC at (size - kTrailerBytes), u64 end marker after it.
+constexpr std::size_t kTrailerBytes = 12;
+
+/// CRC-32 (IEEE 802.3) used for the artifact integrity trailer; exposed so
+/// tooling (and the corruption tests) can recompute it after editing a
+/// bundle. The checksum covers bytes [8, size - kTrailerBytes).
+std::uint32_t artifact_checksum(std::span<const char> bytes);
+
+/// Serializes a trained locator into an artifact file. Throws
+/// InvalidArgument when the locator is untrained and IoError when the file
+/// cannot be written.
+void save_artifact(const core::CoLocator& locator, const std::string& path);
+
+/// Loads an artifact into a ready-to-serve locator (eval mode, calibrated).
+/// Throws ArtifactTruncated / ArtifactBadMagic / ArtifactVersionMismatch /
+/// ArtifactArchMismatch (see api/errors.hpp), or plain ArtifactError for
+/// other corruption.
+core::CoLocator load_artifact(const std::string& path);
+
+}  // namespace scalocate::api

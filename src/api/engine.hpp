@@ -1,0 +1,218 @@
+// Engine/Session: the stable serving surface of scalocate.
+//
+// An Engine loads one or more model artifacts (or adopts in-process trained
+// locators) into a cipher-keyed registry and runs every model over ONE
+// shared ThreadPool — a single deployment can serve AES-128, Clefia and
+// Camellia models side by side, with per-request model selection by cipher.
+// Sessions unify the three workloads that used to be three unrelated
+// classes:
+//
+//   session.submit(trace)      whole-trace jobs with bounded-queue
+//                              backpressure and cancellation
+//                              (was CoLocator::locate / LocatorService)
+//   session.open_stream()      push-based chunk ingestion with online
+//                              Detection delivery via callback or poll
+//                              (was StreamingLocator)
+//
+// Lifetime: Sessions, Streams and Jobs hold shared ownership of their model
+// entry, so they stay valid even if the Engine replaces the model — but the
+// Engine itself (its pool) must outlive every Session/Job. All Session
+// methods are safe to call from multiple threads against one Engine;
+// a single Stream is single-threaded like the StreamingLocator it wraps.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/locator.hpp"
+#include "runtime/locator_service.hpp"
+#include "runtime/streaming_locator.hpp"
+
+namespace scalocate::api {
+
+using runtime::Detection;
+using runtime::StreamingConfig;
+
+struct EngineConfig {
+  /// Worker threads of the shared pool. 0 = hardware concurrency.
+  std::size_t workers = 0;
+  /// Per-model bound on in-flight whole-trace jobs; submit blocks at the
+  /// bound (backpressure). 0 = unbounded.
+  std::size_t max_queue_depth = 0;
+};
+
+/// Registry row describing one served model.
+struct ModelInfo {
+  crypto::CipherId cipher = crypto::CipherId::kAes128;
+  std::string display_name;
+  std::size_t n_inf = 0;
+  std::size_t stride = 0;
+  std::ptrdiff_t calibration_offset = 0;
+};
+
+namespace detail {
+/// One registered model: the locator (owned or borrowed) plus its executor
+/// over the engine's shared pool. Sessions share ownership of the entry.
+struct ModelEntry {
+  ModelEntry(core::CoLocator&& loc, runtime::ThreadPool& pool,
+             runtime::ServiceConfig cfg)
+      : owned(std::move(loc)), locator(&*owned), service(*locator, pool, cfg) {}
+  ModelEntry(const core::CoLocator& loc, runtime::ThreadPool& pool,
+             runtime::ServiceConfig cfg)
+      : locator(&loc), service(loc, pool, cfg) {}
+
+  std::optional<core::CoLocator> owned;
+  const core::CoLocator* locator;
+  runtime::LocatorService service;
+};
+}  // namespace detail
+
+/// A cancellable whole-trace job. Move-only handle over the job's future
+/// and cancel flag.
+class Job {
+ public:
+  /// Requests cancellation. A job not yet started never runs and get()
+  /// throws scalocate::Cancelled; a job already running completes normally.
+  void cancel() { flag_->store(true); }
+  bool cancel_requested() const { return flag_->load(); }
+
+  /// Blocks for the result (rethrows the job's exception, if any).
+  std::vector<std::size_t> get() { return future_.get(); }
+  std::future<std::vector<std::size_t>>& future() { return future_; }
+
+ private:
+  friend class Session;
+  Job(runtime::LocatorService::CancelFlag flag,
+      std::future<std::vector<std::size_t>> future)
+      : flag_(std::move(flag)), future_(std::move(future)) {}
+
+  runtime::LocatorService::CancelFlag flag_;
+  std::future<std::vector<std::size_t>> future_;
+};
+
+/// Push-based chunk ingestion bound to one session's model. Detections are
+/// delivered online, exactly as the offline pipeline would emit them:
+/// through the callback when one is installed, otherwise returned from
+/// feed()/finish() (poll style).
+class Stream {
+ public:
+  using Callback = std::function<void(const Detection&)>;
+
+  /// Installs push delivery; feed()/finish() then return empty vectors.
+  /// If the callback throws, delivery stops and the exception propagates;
+  /// the detection being handled and every later one stay queued and are
+  /// redelivered (at-least-once) by the next feed()/finish().
+  void on_detection(Callback callback) { callback_ = std::move(callback); }
+
+  std::vector<Detection> feed(std::span<const float> chunk);
+  std::vector<Detection> finish();
+  void reset() {
+    streaming_.reset();
+    pending_.clear();
+  }
+
+  std::size_t samples_consumed() const { return streaming_.samples_consumed(); }
+  std::size_t resident_samples() const { return streaming_.resident_samples(); }
+  float threshold() const { return streaming_.threshold(); }
+  std::size_t median_k() const { return streaming_.median_k(); }
+
+ private:
+  friend class Session;
+  Stream(std::shared_ptr<detail::ModelEntry> entry, StreamingConfig config)
+      : entry_(std::move(entry)), streaming_(*entry_->locator, config) {}
+
+  /// Hands queued detections to the callback (or returns them when none is
+  /// installed). A detection leaves the queue only after its callback
+  /// invocation returned, so a throw loses nothing.
+  std::vector<Detection> deliver();
+
+  std::shared_ptr<detail::ModelEntry> entry_;  ///< keeps the model alive
+  runtime::StreamingLocator streaming_;
+  std::deque<Detection> pending_;  ///< finalized but not yet delivered
+  Callback callback_;
+};
+
+/// Handle to one served model; cheap to copy, safe to share across threads.
+class Session {
+ public:
+  /// Whole-trace job; the trace is moved in. Blocks while the model is at
+  /// max_queue_depth (backpressure).
+  std::future<std::vector<std::size_t>> submit(std::vector<float> trace);
+
+  /// Whole-trace job over caller-owned samples (kept alive by the caller
+  /// until the future resolves).
+  std::future<std::vector<std::size_t>> submit_view(
+      std::span<const float> trace);
+
+  /// Whole-trace job with a cancellation handle.
+  Job submit_job(std::vector<float> trace);
+
+  using TimedResult = runtime::LocatorService::TimedResult;
+  std::future<TimedResult> submit_timed(std::span<const float> trace);
+
+  /// Opens a push-based stream over this session's model.
+  Stream open_stream(StreamingConfig config = {}) const;
+
+  const core::CoLocator& locator() const { return *entry_->locator; }
+  crypto::CipherId cipher() const {
+    return entry_->locator->config().params.cipher;
+  }
+
+ private:
+  friend class Engine;
+  explicit Session(std::shared_ptr<detail::ModelEntry> entry)
+      : entry_(std::move(entry)) {}
+
+  std::shared_ptr<detail::ModelEntry> entry_;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+  ~Engine();  ///< Drains every model's in-flight jobs.
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Loads a versioned artifact (api/artifact) and registers the model
+  /// under its cipher id, replacing any previous model for that cipher.
+  /// Existing sessions keep serving the replaced model. Returns the cipher
+  /// key for open_session().
+  crypto::CipherId load_artifact(const std::string& path);
+
+  /// Adopts an in-process trained locator (e.g. straight after train()).
+  crypto::CipherId add_model(core::CoLocator&& locator);
+
+  /// Serves a borrowed trained locator; the caller keeps ownership and must
+  /// keep it alive for the engine's lifetime.
+  crypto::CipherId attach_model(const core::CoLocator& locator);
+
+  /// Opens a session bound to the model registered for `cipher`; throws
+  /// InvalidArgument when none is registered.
+  Session open_session(crypto::CipherId cipher) const;
+
+  /// Convenience for single-model engines; throws unless exactly one model
+  /// is registered.
+  Session open_session() const;
+
+  bool has_model(crypto::CipherId cipher) const;
+  std::vector<ModelInfo> models() const;
+  std::size_t worker_count() const { return pool_.worker_count(); }
+
+ private:
+  crypto::CipherId register_entry(std::shared_ptr<detail::ModelEntry> entry);
+
+  EngineConfig config_;
+  runtime::ThreadPool pool_;  ///< declared before the registry: entries
+                              ///< (services) drain against it on teardown
+  mutable std::mutex mutex_;
+  std::map<crypto::CipherId, std::shared_ptr<detail::ModelEntry>> registry_;
+};
+
+}  // namespace scalocate::api

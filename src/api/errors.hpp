@@ -1,0 +1,58 @@
+// Structured error types of the public scalocate::api surface.
+//
+// Artifact loading never crashes or returns silent garbage: every failure
+// mode surfaces as a distinct subtype so deployments can branch on the kind
+// (retry a truncated download, reject a foreign file, re-export after a
+// format bump, rebuild after an architecture drift) while `catch
+// (const scalocate::Error&)` still covers everything at one boundary.
+#pragma once
+
+#include "common/error.hpp"
+
+namespace scalocate::api {
+
+/// Base of every artifact load/save failure.
+class ArtifactError : public Error {
+ public:
+  explicit ArtifactError(const std::string& what) : Error(what) {}
+};
+
+/// The file ended (or the stream failed) before the bundle was complete.
+class ArtifactTruncated : public ArtifactError {
+ public:
+  explicit ArtifactTruncated(const std::string& what) : ArtifactError(what) {}
+};
+
+/// The file does not start with the artifact magic — not a scalocate
+/// artifact at all.
+class ArtifactBadMagic : public ArtifactError {
+ public:
+  explicit ArtifactBadMagic(const std::string& what) : ArtifactError(what) {}
+};
+
+/// The artifact was written by an incompatible format version.
+class ArtifactVersionMismatch : public ArtifactError {
+ public:
+  explicit ArtifactVersionMismatch(const std::string& what)
+      : ArtifactError(what) {}
+};
+
+/// The weight payload disagrees with the architecture descriptor
+/// (parameter names, shapes, or counts) — the bundle is internally
+/// inconsistent or was tampered with.
+class ArtifactArchMismatch : public ArtifactError {
+ public:
+  explicit ArtifactArchMismatch(const std::string& what)
+      : ArtifactError(what) {}
+};
+
+/// The CRC-32 trailer does not match the bundle's content: bit rot or
+/// tampering that left the structure intact (a corrupted value inside an
+/// otherwise well-formed field would load as plausible garbage without it).
+class ArtifactChecksumMismatch : public ArtifactError {
+ public:
+  explicit ArtifactChecksumMismatch(const std::string& what)
+      : ArtifactError(what) {}
+};
+
+}  // namespace scalocate::api

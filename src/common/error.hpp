@@ -33,6 +33,13 @@ class ShapeError : public Error {
   explicit ShapeError(const std::string& what) : Error(what) {}
 };
 
+/// A submitted job was cancelled before it ran; surfaces through the job's
+/// future (runtime/locator_service, api::Job).
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 /// Throws InvalidArgument with `msg` when `cond` is false.
 inline void require(bool cond, const std::string& msg) {

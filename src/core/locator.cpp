@@ -238,6 +238,26 @@ AlignedTraces CoLocator::locate_and_align(std::span<const float> trace_samples,
   return align_cos(trace_samples, starts, segment_length);
 }
 
+CoLocator::CalibrationState CoLocator::calibration_state() const {
+  CalibrationState state;
+  state.coarse_offset = coarse_offset_;
+  state.fine_offset = fine_offset_;
+  state.mean_co_length = mean_co_length_;
+  state.calibrated_threshold = calibrated_threshold_;
+  state.fine_template = fine_template_;
+  return state;
+}
+
+void CoLocator::restore_calibration(CalibrationState state) {
+  coarse_offset_ = state.coarse_offset;
+  fine_offset_ = state.fine_offset;
+  mean_co_length_ = state.mean_co_length;
+  calibrated_threshold_ = state.calibrated_threshold;
+  fine_template_ = std::move(state.fine_template);
+  model_->set_training(false);
+  trained_ = true;
+}
+
 void CoLocator::save_model(const std::string& path) const {
   nn::save_module(*model_, path);
 }

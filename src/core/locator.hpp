@@ -83,9 +83,34 @@ class CoLocator {
   AlignedTraces locate_and_align(std::span<const float> trace_samples,
                                  std::size_t segment_length) const;
 
-  /// Model persistence (architecture must match the config).
+  /// Legacy weights-only persistence (architecture must match the config;
+  /// calibration is NOT saved). Prefer export_artifact/from_artifact, which
+  /// bundle everything a fresh process needs to serve.
   void save_model(const std::string& path) const;
   void load_model(const std::string& path);
+
+  /// Everything train() produces beyond the CNN weights. Bundled into
+  /// versioned model artifacts (api/artifact) so a fresh process can serve
+  /// without retraining.
+  struct CalibrationState {
+    std::ptrdiff_t coarse_offset = 0;
+    std::ptrdiff_t fine_offset = 0;
+    double mean_co_length = 0.0;
+    float calibrated_threshold = std::numeric_limits<float>::quiet_NaN();
+    std::vector<float> fine_template;
+  };
+  CalibrationState calibration_state() const;
+
+  /// Marks the locator trained with externally restored state (the artifact
+  /// load path): the model must already hold the loaded weights; this
+  /// installs the calibration results and switches the model to eval mode.
+  void restore_calibration(CalibrationState state);
+
+  /// Versioned model artifact: self-describing bundle of config +
+  /// architecture + weights + calibration (implemented in api/artifact.cpp;
+  /// see scalocate::api for the format and its structured load errors).
+  void export_artifact(const std::string& path) const;
+  static CoLocator from_artifact(const std::string& path);
 
   bool is_trained() const { return trained_; }
   /// Total systematic lead removed at inference (coarse + fine stage).

@@ -107,9 +107,25 @@ class Layer {
   /// Trainable parameters (empty for stateless layers).
   virtual std::vector<Param*> params() { return {}; }
 
+  /// Read-only view of the trainable parameters. Saving/snapshotting a
+  /// model must not require mutable access, so serialization goes through
+  /// this overload. The const_cast is sound: the virtual params() only
+  /// collects pointers, and callers of this overload never write through
+  /// them.
+  std::vector<const Param*> params() const {
+    const auto ps = const_cast<Layer*>(this)->params();
+    return std::vector<const Param*>(ps.begin(), ps.end());
+  }
+
   /// Non-trainable state that must survive serialization (batch-norm
   /// running statistics). Containers aggregate their children's buffers.
   virtual std::vector<std::vector<float>*> buffers() { return {}; }
+
+  /// Read-only view of the serialized buffers (see the const params()).
+  std::vector<const std::vector<float>*> buffers() const {
+    const auto bs = const_cast<Layer*>(this)->buffers();
+    return std::vector<const std::vector<float>*>(bs.begin(), bs.end());
+  }
 
   /// Switches train/eval behaviour (batch-norm statistics).
   virtual void set_training(bool training) { training_ = training; }

@@ -1,16 +1,38 @@
-// Model checkpointing: parameter values + batch-norm buffers are written
-// in enumeration order, so load requires a module constructed with the
-// same architecture (shapes are validated element-count-wise).
+// Model checkpointing.
+//
+// Two formats live here:
+//  - the legacy checkpoint (save_module/load_module): parameter values +
+//    batch-norm buffers in enumeration order. Load requires a module
+//    constructed with the same architecture; shapes are validated only
+//    element-count-wise. Kept for existing tooling and tests.
+//  - the self-describing payload (write_module_payload /
+//    read_module_payload): every parameter is written with its name and
+//    full shape, so a reader can validate the architecture field-by-field
+//    and report structured errors. This is the weight section of the
+//    versioned model artifacts (api/artifact).
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "nn/layer.hpp"
 
 namespace scalocate::nn {
 
-void save_module(Layer& module, const std::string& path);
+void save_module(const Layer& module, const std::string& path);
 void load_module(Layer& module, const std::string& path);
+
+/// Writes the module's parameters (name + shape + data) and buffers to the
+/// stream. Deterministic: the same module state always produces the same
+/// bytes.
+void write_module_payload(std::ostream& os, const Layer& module);
+
+/// Reads a payload written by write_module_payload into a module of the
+/// SAME architecture. Throws IoError when the stream ends or fails
+/// mid-payload (truncation) and ShapeError when the payload disagrees with
+/// the module (parameter count, name, rank, or dimension mismatch) — the
+/// artifact loader maps these to its structured error types.
+void read_module_payload(std::istream& is, Layer& module);
 
 /// In-memory snapshot of a module's learnable state (used by the trainer's
 /// keep-the-best-validation-model logic, Section IV-B).
@@ -19,7 +41,7 @@ struct ModuleState {
   std::vector<std::vector<float>> buffers;
 };
 
-ModuleState snapshot_module(Layer& module);
+ModuleState snapshot_module(const Layer& module);
 void restore_module(Layer& module, const ModuleState& state);
 
 }  // namespace scalocate::nn

@@ -1,69 +1,104 @@
 #include "runtime/locator_service.hpp"
 
-#include <thread>
-
 #include "common/error.hpp"
 
 namespace scalocate::runtime {
 
-namespace {
-
-std::size_t resolve_workers(std::size_t configured) {
-  if (configured > 0) return configured;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
-}
-
-/// Counts the job as completed even when locate() throws (the exception
-/// still propagates through the future), so jobs_completed() always
-/// converges to jobs_submitted() once the service is idle.
+/// Runs finish_job() however the job ends — result, locate exception, or
+/// cancellation — so jobs_completed() always converges to jobs_submitted()
+/// and the backpressure slot is always released.
 struct CompletionGuard {
-  std::atomic<std::size_t>& counter;
-  ~CompletionGuard() { ++counter; }
+  LocatorService& service;
+  ~CompletionGuard() { service.finish_job(); }
 };
-
-}  // namespace
 
 LocatorService::LocatorService(const core::CoLocator& locator,
                                ServiceConfig config)
     : locator_(locator),
-      scratch_(resolve_workers(config.workers)),
-      pool_(resolve_workers(config.workers)) {
+      owned_pool_(std::make_unique<ThreadPool>(resolve_workers(config.workers))),
+      pool_(owned_pool_.get()),
+      scratch_(pool_->worker_count()),
+      max_depth_(config.max_queue_depth) {
+  detail::require(locator_.is_trained(),
+                  "LocatorService: locator must be trained");
+}
+
+LocatorService::LocatorService(const core::CoLocator& locator, ThreadPool& pool,
+                               ServiceConfig config)
+    : locator_(locator),
+      pool_(&pool),
+      scratch_(pool.worker_count()),
+      max_depth_(config.max_queue_depth) {
   detail::require(locator_.is_trained(),
                   "LocatorService: locator must be trained");
 }
 
 LocatorService::~LocatorService() { drain(); }
 
-void LocatorService::drain() { pool_.wait_idle(); }
+void LocatorService::drain() {
+  // Waits on THIS service's jobs only: on a shared (Engine) pool, other
+  // models' traffic must not block tearing this one down.
+  std::unique_lock<std::mutex> lock(depth_mutex_);
+  drained_cv_.wait(lock,
+                   [this] { return completed_.load() >= submitted_.load(); });
+}
+
+void LocatorService::acquire_slot() {
+  if (max_depth_ == 0) {
+    ++submitted_;
+    return;
+  }
+  std::unique_lock<std::mutex> lock(depth_mutex_);
+  depth_cv_.wait(lock, [this] { return in_flight_ < max_depth_; });
+  ++in_flight_;
+  ++submitted_;
+}
+
+void LocatorService::finish_job() {
+  // Notify while holding the lock: a drain()er woken by this completion may
+  // destroy the service the moment it returns, so the notify must not touch
+  // the condition variables after the counters became visible.
+  std::lock_guard<std::mutex> lock(depth_mutex_);
+  ++completed_;
+  if (max_depth_ > 0) --in_flight_;
+  depth_cv_.notify_one();
+  drained_cv_.notify_all();
+}
+
+void LocatorService::check_cancel(const CancelFlag& cancel) {
+  if (cancel && cancel->load())
+    throw Cancelled("locate job cancelled before it started");
+}
 
 std::future<std::vector<std::size_t>> LocatorService::submit(
-    std::vector<float> trace) {
-  ++submitted_;
+    std::vector<float> trace, CancelFlag cancel) {
+  acquire_slot();
   auto owned = std::make_shared<std::vector<float>>(std::move(trace));
-  return pool_.submit(
-      [this, owned](std::size_t worker) -> std::vector<std::size_t> {
-        CompletionGuard done{completed_};
+  return pool_->submit(
+      [this, owned, cancel](std::size_t worker) -> std::vector<std::size_t> {
+        CompletionGuard done{*this};
+        check_cancel(cancel);
         return locator_.locate(*owned, scratch_[worker]);
       });
 }
 
 std::future<std::vector<std::size_t>> LocatorService::submit_view(
-    std::span<const float> trace) {
-  ++submitted_;
-  return pool_.submit(
-      [this, trace](std::size_t worker) -> std::vector<std::size_t> {
-        CompletionGuard done{completed_};
+    std::span<const float> trace, CancelFlag cancel) {
+  acquire_slot();
+  return pool_->submit(
+      [this, trace, cancel](std::size_t worker) -> std::vector<std::size_t> {
+        CompletionGuard done{*this};
+        check_cancel(cancel);
         return locator_.locate(trace, scratch_[worker]);
       });
 }
 
 std::future<LocatorService::TimedResult> LocatorService::submit_timed(
     std::span<const float> trace) {
-  ++submitted_;
+  acquire_slot();
   const auto enqueued = std::chrono::steady_clock::now();
-  return pool_.submit([this, trace, enqueued](std::size_t worker) {
-    CompletionGuard done{completed_};
+  return pool_->submit([this, trace, enqueued](std::size_t worker) {
+    CompletionGuard done{*this};
     TimedResult result;
     result.starts = locator_.locate(trace, scratch_[worker]);
     result.latency_seconds =

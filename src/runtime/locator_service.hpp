@@ -6,12 +6,20 @@
 // worker owns a private nn::Workspace holding its activation scratch.
 // Results come back as futures; exceptions inside a job propagate through
 // the future.
+//
+// The service either owns its pool (standalone use) or runs over an
+// external one, which is how api::Engine serves several models (one per
+// cipher) from a single shared worker pool. Direct construction is the
+// low-level path; new code should go through api::Engine / api::Session,
+// which add model registry, artifact loading, and streaming on top.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/locator.hpp"
@@ -20,27 +28,46 @@
 namespace scalocate::runtime {
 
 struct ServiceConfig {
-  /// Worker threads. 0 = hardware concurrency (at least 1).
+  /// Worker threads. 0 = hardware concurrency (at least 1). Ignored when
+  /// the service is constructed over an external pool.
   std::size_t workers = 0;
+  /// Upper bound on in-flight jobs (queued + running) for this service.
+  /// submit() blocks until a slot frees (backpressure) instead of letting
+  /// the queue grow unboundedly when workers are saturated. 0 = unbounded.
+  std::size_t max_queue_depth = 0;
 };
 
 class LocatorService {
  public:
-  /// `locator` must be trained and outlive the service.
+  /// Shared flag a caller sets to abandon a job it no longer needs. The
+  /// flag is checked when the job is dequeued: a job cancelled before it
+  /// starts never runs and its future throws scalocate::Cancelled. A job
+  /// already running completes normally (cancel is then a no-op).
+  using CancelFlag = std::shared_ptr<std::atomic<bool>>;
+
+  /// `locator` must be trained and outlive the service. Owns its pool.
   explicit LocatorService(const core::CoLocator& locator,
                           ServiceConfig config = {});
+
+  /// Runs over `pool`, which must outlive the service (api::Engine shares
+  /// one pool across every registered model this way).
+  LocatorService(const core::CoLocator& locator, ThreadPool& pool,
+                 ServiceConfig config = {});
+
   ~LocatorService();  ///< Blocks until in-flight jobs finish.
 
   LocatorService(const LocatorService&) = delete;
   LocatorService& operator=(const LocatorService&) = delete;
 
-  /// Enqueues a locate job; the trace is moved into the job.
-  std::future<std::vector<std::size_t>> submit(std::vector<float> trace);
+  /// Enqueues a locate job; the trace is moved into the job. Blocks while
+  /// the service is at max_queue_depth.
+  std::future<std::vector<std::size_t>> submit(std::vector<float> trace,
+                                               CancelFlag cancel = nullptr);
 
   /// Enqueues a locate job over caller-owned samples. The caller must keep
   /// the memory alive until the future resolves; no copy is made.
-  std::future<std::vector<std::size_t>> submit_view(
-      std::span<const float> trace);
+  std::future<std::vector<std::size_t>> submit_view(std::span<const float> trace,
+                                                    CancelFlag cancel = nullptr);
 
   /// Like submit_view, but also reports the job's end-to-end latency
   /// (enqueue to completion, queueing included) — the number a serving
@@ -51,17 +78,34 @@ class LocatorService {
   };
   std::future<TimedResult> submit_timed(std::span<const float> trace);
 
-  /// Blocks until every submitted job has completed.
+  /// Blocks until every job submitted to THIS service has completed (on a
+  /// shared pool, other services' jobs are not waited for).
   void drain();
 
-  std::size_t worker_count() const { return pool_.worker_count(); }
+  std::size_t worker_count() const { return pool_->worker_count(); }
+  std::size_t max_queue_depth() const { return max_depth_; }
   std::size_t jobs_completed() const { return completed_.load(); }
   std::size_t jobs_submitted() const { return submitted_.load(); }
 
  private:
+  friend struct CompletionGuard;
+
+  /// Blocks until an in-flight slot is free (no-op when unbounded), then
+  /// counts the job as submitted. Every acquire is paired with one
+  /// finish_job() from the job's completion guard.
+  void acquire_slot();
+  void finish_job();
+  static void check_cancel(const CancelFlag& cancel);
+
   const core::CoLocator& locator_;
+  std::unique_ptr<ThreadPool> owned_pool_;  ///< null when pool is external
+  ThreadPool* pool_;
   std::vector<nn::Workspace> scratch_;  ///< one per worker, index-addressed
-  ThreadPool pool_;
+  std::size_t max_depth_ = 0;
+  std::mutex depth_mutex_;
+  std::condition_variable depth_cv_;    ///< a backpressure slot freed
+  std::condition_variable drained_cv_;  ///< a job completed (drain watches)
+  std::size_t in_flight_ = 0;  ///< guarded by depth_mutex_ when bounded
   std::atomic<std::size_t> submitted_{0};
   std::atomic<std::size_t> completed_{0};
 };

@@ -4,6 +4,12 @@
 
 namespace scalocate::runtime {
 
+std::size_t resolve_workers(std::size_t configured) {
+  if (configured > 0) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
 ThreadPool::ThreadPool(std::size_t workers) {
   detail::require(workers >= 1, "ThreadPool: need at least one worker");
   workers_.reserve(workers);

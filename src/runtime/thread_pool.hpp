@@ -18,6 +18,11 @@
 
 namespace scalocate::runtime {
 
+/// Resolves a configured worker count: 0 = hardware concurrency (at least
+/// 1). Shared by ThreadPool owners (LocatorService, api::Engine) so their
+/// defaults cannot diverge.
+std::size_t resolve_workers(std::size_t configured);
+
 class ThreadPool {
  public:
   /// A task is invoked with the worker index in [0, worker_count()).

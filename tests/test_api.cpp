@@ -1,0 +1,451 @@
+// scalocate::api facade tests: versioned artifact round-trip + corruption
+// handling (distinct structured error per failure mode), train-once/
+// serve-anywhere parity through Engine/Session for whole-trace and
+// streamed workloads, backpressure, cancellation, and the multi-model
+// registry.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "api/scalocate.hpp"
+#include "trace/scenario.hpp"
+
+namespace scalocate {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const char* name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+std::vector<char> read_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(is),
+                           std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream os(path, std::ios::binary);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Streams `samples` through an api::Stream in `chunk`-sized pieces
+/// (poll style) and returns every detection start.
+std::vector<std::size_t> stream_starts(api::Session& session,
+                                       std::span<const float> samples,
+                                       std::size_t chunk) {
+  auto stream = session.open_stream();
+  std::vector<std::size_t> starts;
+  for (std::size_t off = 0; off < samples.size(); off += chunk) {
+    const std::size_t n = std::min(chunk, samples.size() - off);
+    for (const auto& d : stream.feed(samples.subspan(off, n)))
+      starts.push_back(d.start);
+  }
+  for (const auto& d : stream.finish()) starts.push_back(d.start);
+  return starts;
+}
+
+// ---------------------------------------------------------------------------
+// Trained fixture shared by every api test (training is the expensive part,
+// so it runs once per suite). Thresh is fixed so offline, streamed, and
+// artifact-loaded paths share one decision boundary.
+// ---------------------------------------------------------------------------
+
+class ApiFacade : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    key_ = new crypto::Key16{};
+    for (int i = 0; i < 16; ++i)
+      (*key_)[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(0x30 + i);
+
+    sc_ = new trace::ScenarioConfig{};
+    sc_->cipher = crypto::CipherId::kCamellia128;  // shortest CO: fast suite
+    sc_->random_delay = trace::RandomDelayConfig::kRd2;
+    sc_->seed = 404;
+
+    auto acq = trace::acquire_cipher_traces(*sc_, 224, *key_);
+    auto noise = trace::acquire_noise_trace(*sc_, 60000);
+
+    core::LocatorConfig lc;
+    lc.params = core::PipelineParams::defaults_for(sc_->cipher);
+    lc.params.sizes = {224, 160, 96};
+    lc.params.epochs = 6;
+    lc.params.threshold = 0.0f;
+    locator_ = new core::CoLocator(lc);
+    locator_->train(acq, noise);
+
+    artifact_ = new std::string(temp_path("scalocate_api_model.scart"));
+    locator_->export_artifact(*artifact_);
+
+    eval_ = new trace::Trace(trace::acquire_eval_trace(*sc_, 8, *key_, false));
+    offline_ = new std::vector<std::size_t>(locator_->locate(eval_->samples));
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(artifact_->c_str());
+    delete offline_;
+    delete eval_;
+    delete artifact_;
+    delete locator_;
+    delete sc_;
+    delete key_;
+  }
+
+  /// Copies the pristine artifact, applies `mutate` to the bytes, and
+  /// returns the mutated file's path.
+  static std::string mutated_artifact(
+      const char* name, const std::function<void(std::vector<char>&)>& mutate) {
+    auto bytes = read_bytes(*artifact_);
+    mutate(bytes);
+    const auto path = temp_path(name);
+    write_bytes(path, bytes);
+    return path;
+  }
+
+  static crypto::Key16* key_;
+  static trace::ScenarioConfig* sc_;
+  static core::CoLocator* locator_;
+  static std::string* artifact_;
+  static trace::Trace* eval_;
+  static std::vector<std::size_t>* offline_;
+};
+
+crypto::Key16* ApiFacade::key_ = nullptr;
+trace::ScenarioConfig* ApiFacade::sc_ = nullptr;
+core::CoLocator* ApiFacade::locator_ = nullptr;
+std::string* ApiFacade::artifact_ = nullptr;
+trace::Trace* ApiFacade::eval_ = nullptr;
+std::vector<std::size_t>* ApiFacade::offline_ = nullptr;
+
+TEST_F(ApiFacade, BaselineDetectsSomething) {
+  ASSERT_FALSE(offline_->empty());
+}
+
+// ---------------------------------------------------------------------------
+// Artifact round-trip
+// ---------------------------------------------------------------------------
+
+TEST_F(ApiFacade, RoundTripIsByteIdentical) {
+  // save -> load -> save must reproduce the file bit for bit: every config
+  // field, calibration value, weight, and buffer survives the trip.
+  auto loaded = core::CoLocator::from_artifact(*artifact_);
+  const auto second = temp_path("scalocate_api_rt.scart");
+  loaded.export_artifact(second);
+  EXPECT_EQ(read_bytes(*artifact_), read_bytes(second));
+  std::remove(second.c_str());
+}
+
+TEST_F(ApiFacade, LoadedLocatorIsReadyToServe) {
+  auto loaded = core::CoLocator::from_artifact(*artifact_);
+  EXPECT_TRUE(loaded.is_trained());
+  EXPECT_EQ(loaded.calibration_offset(), locator_->calibration_offset());
+  EXPECT_DOUBLE_EQ(loaded.mean_co_length(), locator_->mean_co_length());
+  EXPECT_EQ(loaded.calibrated_threshold(), locator_->calibrated_threshold());
+  ASSERT_EQ(loaded.fine_template().size(), locator_->fine_template().size());
+  // Bit-identical detections without any retraining.
+  EXPECT_EQ(loaded.locate(eval_->samples), *offline_);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption: each failure mode raises its own scalocate::Error subtype.
+// ---------------------------------------------------------------------------
+
+TEST_F(ApiFacade, TruncatedArtifactThrowsTruncated) {
+  const auto full = read_bytes(*artifact_);
+  ASSERT_GT(full.size(), 64u);
+  // Cut in the header, mid-config, mid-weights, and just before the end
+  // marker; every cut must surface as ArtifactTruncated, never a crash or
+  // a silently garbage model.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{5}, std::size_t{40}, full.size() / 2,
+        full.size() - 4}) {
+    auto bytes = full;
+    bytes.resize(keep);
+    const auto path = temp_path("scalocate_api_trunc.scart");
+    write_bytes(path, bytes);
+    EXPECT_THROW(api::load_artifact(path), api::ArtifactTruncated)
+        << "truncated to " << keep << " bytes";
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(ApiFacade, BadMagicThrowsBadMagic) {
+  const auto path = mutated_artifact("scalocate_api_magic.scart",
+                                     [](std::vector<char>& b) { b[0] ^= 0x5a; });
+  EXPECT_THROW(api::load_artifact(path), api::ArtifactBadMagic);
+  std::remove(path.c_str());
+}
+
+TEST_F(ApiFacade, WrongVersionThrowsVersionMismatch) {
+  const auto path =
+      mutated_artifact("scalocate_api_ver.scart", [](std::vector<char>& b) {
+        b[api::kVersionOffset] = 99;  // future format version
+      });
+  EXPECT_THROW(api::load_artifact(path), api::ArtifactVersionMismatch);
+  std::remove(path.c_str());
+}
+
+/// Recomputes and patches the integrity trailer after a byte edit, so the
+/// mutation reaches the field validation instead of tripping the checksum.
+void refresh_checksum(std::vector<char>& b) {
+  const auto crc =
+      api::artifact_checksum({b.data() + 8, b.size() - 8 - api::kTrailerBytes});
+  std::memcpy(b.data() + b.size() - api::kTrailerBytes, &crc, sizeof(crc));
+}
+
+TEST_F(ApiFacade, ArchitectureMismatchThrowsArchMismatch) {
+  // Grow the declared kernel size (with a valid checksum): the descriptor
+  // then disagrees with the conv parameter shapes in the weight payload.
+  const auto path =
+      mutated_artifact("scalocate_api_arch.scart", [](std::vector<char>& b) {
+        b[api::kCnnKernelSizeOffset] =
+            static_cast<char>(b[api::kCnnKernelSizeOffset] + 1);
+        refresh_checksum(b);
+      });
+  EXPECT_THROW(api::load_artifact(path), api::ArtifactArchMismatch);
+  std::remove(path.c_str());
+}
+
+TEST_F(ApiFacade, CorruptedWeightByteThrowsChecksumMismatch) {
+  // A flipped bit deep inside the weight payload keeps the file perfectly
+  // well-formed; only the CRC trailer can catch it.
+  const auto path =
+      mutated_artifact("scalocate_api_crc.scart", [](std::vector<char>& b) {
+        b[b.size() - 40] ^= 0x01;
+      });
+  EXPECT_THROW(api::load_artifact(path), api::ArtifactChecksumMismatch);
+  std::remove(path.c_str());
+}
+
+TEST_F(ApiFacade, OversizedDescriptorIsRejectedBeforeAllocation) {
+  // A hostile descriptor implying a weight tensor far larger than the file
+  // must fail cleanly (no giant allocation, no bad_alloc escaping).
+  const auto path =
+      mutated_artifact("scalocate_api_huge.scart", [](std::vector<char>& b) {
+        b[api::kCnnConfigOffset + 1] = 0x10;      // base_filters ~ 4096
+        b[api::kCnnKernelSizeOffset + 2] = 0x08;  // kernel_size ~ 512k
+        refresh_checksum(b);
+      });
+  EXPECT_THROW(api::load_artifact(path), api::ArtifactError);
+  std::remove(path.c_str());
+}
+
+TEST_F(ApiFacade, AllArtifactErrorsShareOneBase) {
+  const auto path = mutated_artifact("scalocate_api_base.scart",
+                                     [](std::vector<char>& b) { b[0] ^= 1; });
+  // Deployments can catch the whole family at one boundary.
+  EXPECT_THROW(api::load_artifact(path), api::ArtifactError);
+  EXPECT_THROW(api::load_artifact(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST_F(ApiFacade, ExportRequiresTrainedLocator) {
+  core::LocatorConfig lc;
+  lc.params = core::PipelineParams::defaults_for(sc_->cipher);
+  const core::CoLocator untrained(lc);
+  EXPECT_THROW(untrained.export_artifact(temp_path("scalocate_api_untrained")),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Engine/Session: train-once/serve-anywhere parity
+// ---------------------------------------------------------------------------
+
+TEST_F(ApiFacade, EngineServesLoadedArtifactWithIdenticalDetections) {
+  api::Engine engine({.workers = 2});
+  const auto cipher = engine.load_artifact(*artifact_);
+  EXPECT_EQ(cipher, sc_->cipher);
+  EXPECT_TRUE(engine.has_model(cipher));
+
+  const auto models = engine.models();
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_EQ(models[0].cipher, sc_->cipher);
+  EXPECT_EQ(models[0].n_inf, locator_->config().params.n_inf);
+
+  auto session = engine.open_session(cipher);
+  EXPECT_EQ(session.submit(eval_->samples).get(), *offline_);
+  EXPECT_EQ(session.submit_view(eval_->samples).get(), *offline_);
+}
+
+TEST_F(ApiFacade, StreamedSessionMatchesOfflineAcrossChunkSizes) {
+  // The streaming-vs-offline parity suite, routed through the facade and a
+  // freshly loaded artifact instead of the in-process trained locator.
+  api::Engine engine({.workers = 1});
+  engine.load_artifact(*artifact_);
+  auto session = engine.open_session();
+  const std::span<const float> samples(eval_->samples);
+  ASSERT_LT(48u, locator_->config().params.n_inf);
+  for (const std::size_t chunk :
+       {std::size_t{48}, std::size_t{256}, std::size_t{4096}, samples.size()})
+    EXPECT_EQ(stream_starts(session, samples, chunk), *offline_)
+        << "chunk " << chunk;
+}
+
+TEST_F(ApiFacade, StreamCallbackDeliversSameDetections) {
+  api::Engine engine({.workers = 1});
+  engine.attach_model(*locator_);
+  auto stream = engine.open_session().open_stream();
+  std::vector<std::size_t> pushed;
+  stream.on_detection([&](const api::Detection& d) { pushed.push_back(d.start); });
+  const std::span<const float> samples(eval_->samples);
+  for (std::size_t off = 0; off < samples.size(); off += 1024) {
+    // With a callback installed, feed() must not double-report.
+    EXPECT_TRUE(
+        stream
+            .feed(samples.subspan(off,
+                                  std::min<std::size_t>(1024, samples.size() - off)))
+            .empty());
+  }
+  EXPECT_TRUE(stream.finish().empty());
+  EXPECT_EQ(pushed, *offline_);
+}
+
+TEST_F(ApiFacade, ThrowingCallbackKeepsDetectionsQueued) {
+  // Delivery is at-least-once: a handler that throws aborts the delivery
+  // loop, but the detection it choked on stays queued and arrives again on
+  // the next feed — nothing is silently dropped.
+  api::Engine engine({.workers = 1});
+  engine.attach_model(*locator_);
+  auto stream = engine.open_session().open_stream();
+  std::vector<std::size_t> delivered;
+  bool fail_once = true;
+  stream.on_detection([&](const api::Detection& d) {
+    if (fail_once) {
+      fail_once = false;
+      throw std::runtime_error("handler hiccup");
+    }
+    delivered.push_back(d.start);
+  });
+  const std::span<const float> samples(eval_->samples);
+  std::size_t throws = 0;
+  for (std::size_t off = 0; off < samples.size(); off += 1024) {
+    try {
+      stream.feed(samples.subspan(off,
+                                  std::min<std::size_t>(1024, samples.size() - off)));
+    } catch (const std::runtime_error&) {
+      ++throws;
+    }
+  }
+  stream.finish();
+  EXPECT_EQ(throws, 1u);
+  EXPECT_EQ(delivered, *offline_);
+}
+
+TEST_F(ApiFacade, OpenSessionWithoutModelThrows) {
+  api::Engine engine({.workers = 1});
+  EXPECT_THROW(engine.open_session(), InvalidArgument);
+  EXPECT_THROW(engine.open_session(crypto::CipherId::kAes128), InvalidArgument);
+  EXPECT_FALSE(engine.has_model(crypto::CipherId::kAes128));
+}
+
+TEST_F(ApiFacade, EngineServesMultipleCiphersSideBySide) {
+  // A second (deliberately tiny) model for a different cipher: the registry
+  // must route each session to its own cipher's model.
+  auto noise = trace::acquire_noise_trace(*sc_, 20000);
+  trace::ScenarioConfig sc2 = *sc_;
+  sc2.cipher = crypto::CipherId::kAes128;
+  auto acq2 = trace::acquire_cipher_traces(sc2, 96, *key_);
+
+  core::LocatorConfig lc;
+  lc.params = core::PipelineParams::defaults_for(sc2.cipher);
+  lc.params.sizes = {64, 64, 32};
+  lc.params.epochs = 1;  // quality is irrelevant here, only routing
+  core::CoLocator aes(lc);
+  aes.train(acq2, noise);
+
+  api::Engine engine({.workers = 2});
+  engine.attach_model(*locator_);
+  engine.add_model(std::move(aes));
+
+  ASSERT_EQ(engine.models().size(), 2u);
+  EXPECT_TRUE(engine.has_model(crypto::CipherId::kCamellia128));
+  EXPECT_TRUE(engine.has_model(crypto::CipherId::kAes128));
+  // Per-request model selection by cipher.
+  EXPECT_EQ(engine.open_session(crypto::CipherId::kCamellia128).cipher(),
+            crypto::CipherId::kCamellia128);
+  EXPECT_EQ(engine.open_session(crypto::CipherId::kAes128).cipher(),
+            crypto::CipherId::kAes128);
+  // The ambiguous no-arg overload must refuse.
+  EXPECT_THROW(engine.open_session(), InvalidArgument);
+  // Both models serve from the one shared pool.
+  EXPECT_EQ(engine.open_session(crypto::CipherId::kCamellia128)
+                .submit(eval_->samples)
+                .get(),
+            *offline_);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure + cancellation
+// ---------------------------------------------------------------------------
+
+TEST_F(ApiFacade, SubmitBlocksAtMaxQueueDepth) {
+  constexpr std::size_t kDepth = 2;
+  constexpr std::size_t kJobs = 8;
+  runtime::LocatorService service(*locator_,
+                                  {.workers = 1, .max_queue_depth = kDepth});
+  EXPECT_EQ(service.max_queue_depth(), kDepth);
+
+  std::vector<std::future<std::vector<std::size_t>>> futures;
+  futures.reserve(kJobs);
+  std::atomic<bool> done{false};
+  std::thread producer([&] {
+    for (std::size_t j = 0; j < kJobs; ++j)
+      futures.push_back(service.submit_view(eval_->samples));
+    done = true;
+  });
+
+  // While the producer is pushing, in-flight jobs may never exceed the
+  // bound: submit blocks instead of queueing unboundedly.
+  std::size_t max_in_flight = 0;
+  while (!done.load()) {
+    // Read submitted before completed: a completion racing in between can
+    // only shrink the apparent depth, never inflate it.
+    const std::size_t submitted = service.jobs_submitted();
+    const std::size_t completed = service.jobs_completed();
+    if (completed <= submitted) {
+      const std::size_t in_flight = submitted - completed;
+      max_in_flight = std::max(max_in_flight, in_flight);
+      EXPECT_LE(in_flight, kDepth);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  producer.join();
+  for (auto& f : futures) EXPECT_EQ(f.get(), *offline_);
+  EXPECT_EQ(service.jobs_completed(), kJobs);
+  // The bound was actually exercised (the single worker saturated).
+  EXPECT_GE(max_in_flight, kDepth - 1);
+}
+
+TEST_F(ApiFacade, CancelledQueuedJobNeverRuns) {
+  api::Engine engine({.workers = 1});
+  engine.attach_model(*locator_);
+  auto session = engine.open_session();
+
+  // Occupy the single worker, then cancel a queued job before it starts.
+  auto running = session.submit(eval_->samples);
+  auto job = session.submit_job(eval_->samples);
+  job.cancel();
+  EXPECT_TRUE(job.cancel_requested());
+
+  EXPECT_EQ(running.get(), *offline_);
+  EXPECT_THROW(job.get(), Cancelled);
+}
+
+TEST_F(ApiFacade, CancelAfterCompletionIsNoOp) {
+  api::Engine engine({.workers = 2});
+  engine.attach_model(*locator_);
+  auto session = engine.open_session();
+  auto job = session.submit_job(eval_->samples);
+  const auto starts = job.get();
+  job.cancel();  // too late: the result already exists
+  EXPECT_EQ(starts, *offline_);
+}
+
+}  // namespace
+}  // namespace scalocate

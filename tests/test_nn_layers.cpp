@@ -398,7 +398,10 @@ TEST(Serialize, SaveLoadRoundTrip) {
 
   const auto path =
       (std::filesystem::temp_directory_path() / "scalocate_model.bin").string();
-  save_module(a, path);
+  // Saving must not require mutable access (const CoLocator::export_artifact
+  // depends on this).
+  const Layer& a_const = a;
+  save_module(a_const, path);
   load_module(b, path);
 
   a.set_training(false);
@@ -415,7 +418,7 @@ TEST(Serialize, SnapshotRestore) {
   Linear lin(2, 2);
   Rng rng(101);
   he_normal_init(lin.weight().value, rng);
-  const auto snap = snapshot_module(lin);
+  const auto snap = snapshot_module(static_cast<const Layer&>(lin));
   const float orig = lin.weight().value.at(0);
   lin.weight().value.at(0) = 999.f;
   restore_module(lin, snap);

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -104,11 +105,10 @@ struct TrainedSetup {
   trace::ScenarioConfig scenario;
 };
 
-inline TrainedSetup train_locator(crypto::CipherId cipher,
-                                  trace::RandomDelayConfig rd,
-                                  std::uint64_t seed,
-                                  std::size_t n_captures = 512,
-                                  std::size_t noise_instr = 150000) {
+inline TrainedSetup train_locator(
+    crypto::CipherId cipher, trace::RandomDelayConfig rd, std::uint64_t seed,
+    std::size_t n_captures = 512, std::size_t noise_instr = 150000,
+    const std::function<void(core::LocatorConfig&)>& tweak = {}) {
   trace::ScenarioConfig sc;
   sc.cipher = cipher;
   sc.random_delay = rd;
@@ -125,6 +125,7 @@ inline TrainedSetup train_locator(crypto::CipherId cipher,
   lc.params = core::PipelineParams::defaults_for(cipher);
   lc.params.epochs = bench_epochs();
   lc.seed = seed ^ 0x10cULL;
+  if (tweak) tweak(lc);
   TrainedSetup setup{core::CoLocator(lc), {}, key, sc};
   setup.report = setup.locator.train(acq, noise);
   return setup;

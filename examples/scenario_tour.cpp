@@ -1,0 +1,85 @@
+// Tour of the countermeasure scenario suite: trains one locator, then
+// enumerates every registered capture condition through trace::ScenarioSuite
+// — the same registry bench_robustness and the test suite iterate — and
+// locates each hostile capture twice through an Engine session: the
+// whole-trace path and the chunked streaming path, which must agree
+// bit for bit.
+//
+// Build & run:  ./scenario_tour   (SCALOCATE_EPOCHS=4 for a quick run)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "api/scalocate.hpp"
+#include "core/metrics.hpp"
+#include "trace/scenario.hpp"
+
+using namespace scalocate;
+
+int main() {
+  // --- train once on clone-device captures --------------------------------
+  trace::ScenarioConfig sc;
+  sc.cipher = crypto::CipherId::kAes128;
+  sc.random_delay = trace::RandomDelayConfig::kRd2;
+  sc.seed = 4321;
+
+  crypto::Key16 key{};
+  for (int i = 0; i < 16; ++i)
+    key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+
+  const auto acq = trace::acquire_cipher_traces(sc, 384, key);
+  const auto noise = trace::acquire_noise_trace(sc, 100000);
+
+  core::LocatorConfig lc;
+  lc.params = core::PipelineParams::defaults_for(sc.cipher);
+  lc.params.epochs = 8;
+  if (const char* e = std::getenv("SCALOCATE_EPOCHS")) {
+    const int v = std::atoi(e);
+    if (v > 0) lc.params.epochs = static_cast<std::size_t>(v);
+  }
+  // Countermeasure hardening: bridge plateau splits (interrupt preemption,
+  // gain steps) up to half a dozen windows wide.
+  lc.params.merge_gap_windows = 6;
+  core::CoLocator locator(lc);
+  const auto report = locator.train(acq, noise);
+  std::printf("trained %s: test accuracy %.3f\n\n",
+              crypto::cipher_display_name(sc.cipher).c_str(),
+              report.test_confusion.accuracy());
+
+  api::Engine engine({.workers = 2});
+  engine.attach_model(locator);
+  auto session = engine.open_session();
+
+  // --- one hostile capture per registered scenario ------------------------
+  constexpr std::size_t kCos = 4;
+  constexpr std::size_t kChunk = 1024;
+  const std::size_t tol = lc.params.n_inf;
+
+  for (const auto& scenario : trace::ScenarioSuite::all()) {
+    const auto cap = trace::ScenarioSuite::acquire(scenario, sc, kCos, key);
+
+    const auto offline = session.submit_view(cap.trace.samples).get();
+
+    auto stream = session.open_stream();
+    std::vector<std::size_t> streamed;
+    const std::span<const float> samples(cap.trace.samples);
+    for (std::size_t off = 0; off < samples.size(); off += kChunk) {
+      const std::size_t n = std::min(kChunk, samples.size() - off);
+      for (const auto& d : stream.feed(samples.subspan(off, n)))
+        streamed.push_back(d.start);
+    }
+    for (const auto& d : stream.finish()) streamed.push_back(d.start);
+
+    // Mixed captures interleave a second cipher this engine has no model
+    // for; only the primary cipher's COs are this locator's ground truth.
+    const auto truth = cap.starts_of(sc.cipher);
+    const auto score = core::score_hits(offline, truth, tol);
+    std::printf("%-15s %s\n", scenario.name, scenario.description);
+    std::printf("                hits %zu/%zu, false alarms %zu, "
+                "stream parity %s\n",
+                score.hits, score.true_cos, score.false_alarms,
+                streamed == offline ? "EXACT" : "MISMATCH");
+  }
+  return 0;
+}

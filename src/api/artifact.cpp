@@ -69,6 +69,8 @@ void write_pipeline_params(std::ostream& os, const core::PipelineParams& p) {
   io::write_scalar<std::uint64_t>(os, p.start_jitter);
   io::write_scalar<std::uint64_t>(os, p.median_filter_k);
   io::write_scalar<float>(os, p.threshold);
+  io::write_scalar<std::uint64_t>(os, p.merge_gap_windows);
+  io::write_scalar<double>(os, p.otsu_clip_percentile);
   io::write_scalar<std::uint64_t>(os, p.paper_mean_length);
   io::write_scalar<std::uint64_t>(os, p.paper_n_train);
   io::write_scalar<std::uint64_t>(os, p.paper_n_inf);
@@ -97,6 +99,8 @@ core::PipelineParams read_pipeline_params(std::istream& is,
   p.start_jitter = rd_size(is, "start_jitter");
   p.median_filter_k = rd_size(is, "median_filter_k");
   p.threshold = rd<float>(is, "threshold");
+  p.merge_gap_windows = rd_size(is, "merge_gap_windows");
+  p.otsu_clip_percentile = rd<double>(is, "otsu_clip_percentile");
   p.paper_mean_length = rd_size(is, "paper_mean_length");
   p.paper_n_train = rd_size(is, "paper_n_train");
   p.paper_n_inf = rd_size(is, "paper_n_inf");

@@ -39,7 +39,9 @@
 namespace scalocate::api {
 
 constexpr std::uint64_t kArtifactMagic = 0x31545241434f4c53ULL;  // "SLOCART1"
-constexpr std::uint32_t kArtifactVersion = 1;
+/// v2: PipelineParams gained merge_gap_windows + otsu_clip_percentile
+/// (countermeasure robustness knobs), serialized after `threshold`.
+constexpr std::uint32_t kArtifactVersion = 2;
 constexpr std::uint64_t kArtifactEnd = 0x444e455f54524103ULL;
 
 /// Stable byte offsets of the fixed header prefix (corruption tests and

@@ -68,6 +68,8 @@ SegmenterConfig CoLocator::segmenter_config() const {
   seg_cfg.median_filter_k = config_.params.median_filter_k;
   seg_cfg.window_size = config_.params.n_inf;
   seg_cfg.expected_co_length = static_cast<std::size_t>(mean_co_length_);
+  seg_cfg.merge_gap_windows = config_.params.merge_gap_windows;
+  seg_cfg.otsu_clip_percentile = config_.params.otsu_clip_percentile;
   return seg_cfg;
 }
 

@@ -69,6 +69,16 @@ struct PipelineParams {
   /// Fixed decision threshold on the linear class-1 score; NaN selects the
   /// automatic percentile-midpoint threshold.
   float threshold = std::numeric_limits<float>::quiet_NaN();
+  /// Plateau-split merging: low runs of at most this many windows between
+  /// two high runs are bridged (one plateau, one CO). Hardens segmentation
+  /// against countermeasure raggedness — preemption splits, gain steps,
+  /// clock jitter (see SegmenterConfig::merge_gap_windows). 0 disables.
+  std::size_t merge_gap_windows = 0;
+  /// Clips the automatic (Otsu) threshold's histogram range to the
+  /// [p, 100-p] score percentiles, de-weighting outlier scores from drift
+  /// and AGC jumps (see SegmenterConfig::otsu_clip_percentile). 0 keeps
+  /// the exact min/max range.
+  double otsu_clip_percentile = 0.0;
 
   // --- paper's original Table I values (for reporting only) ---
   std::size_t paper_mean_length = 0;

@@ -36,17 +36,30 @@ std::size_t Segmenter::resolve_median_k(const SegmenterConfig& config,
   return auto_median_k(plateau);
 }
 
-float Segmenter::otsu_threshold(std::span<const float> scores) {
+float Segmenter::otsu_threshold(std::span<const float> scores,
+                                double clip_percentile) {
   detail::require(!scores.empty(), "otsu_threshold: empty scores");
-  const float lo = stats::min_value(scores);
-  const float hi = stats::max_value(scores);
+  detail::require(clip_percentile >= 0.0 && clip_percentile < 50.0,
+                  "otsu_threshold: clip percentile must be in [0, 50)");
+  float lo, hi;
+  if (clip_percentile > 0.0) {
+    lo = static_cast<float>(stats::percentile(scores, clip_percentile));
+    hi = static_cast<float>(stats::percentile(scores, 100.0 - clip_percentile));
+  } else {
+    lo = stats::min_value(scores);
+    hi = stats::max_value(scores);
+  }
   if (hi <= lo) return lo;
 
   constexpr std::size_t kBins = 256;
   std::array<std::size_t, kBins> hist{};
   const double scale = static_cast<double>(kBins - 1) / (hi - lo);
   for (float s : scores) {
-    auto bin = static_cast<std::size_t>((s - lo) * scale);
+    // Clamp before the cast: with a clipped range, outliers below `lo` map
+    // to a negative offset (casting that to unsigned is UB).
+    double pos = (static_cast<double>(s) - lo) * scale;
+    if (pos < 0.0) pos = 0.0;
+    auto bin = static_cast<std::size_t>(pos);
     if (bin >= kBins) bin = kBins - 1;
     ++hist[bin];
   }
@@ -82,7 +95,8 @@ Segmentation Segmenter::segment(const SlidingWindowResult& swc) const {
 
   // --- threshold (Th) ------------------------------------------------------
   float threshold = config_.threshold;
-  if (std::isnan(threshold)) threshold = otsu_threshold(swc.scores);
+  if (std::isnan(threshold))
+    threshold = otsu_threshold(swc.scores, config_.otsu_clip_percentile);
   out.threshold_used = threshold;
   out.square_wave = signal::threshold_square_wave(swc.scores, threshold);
 
@@ -93,13 +107,29 @@ Segmentation Segmenter::segment(const SlidingWindowResult& swc) const {
   out.filtered = signal::median_filter(out.square_wave, k);
 
   // --- rising edges -> sample positions ------------------------------------
-  const auto edges = signal::rising_edges(out.filtered);
-  out.co_starts.reserve(edges.size());
-  for (std::size_t e : edges) out.co_starts.push_back(e * swc.stride);
   // A plateau that starts at window 0 has no -1 -> +1 transition; treat a
   // high beginning as a CO start at sample 0's window.
   if (!out.filtered.empty() && out.filtered.front() > 0.0f) {
-    out.co_starts.insert(out.co_starts.begin(), 0);
+    out.co_starts.push_back(0);
+  }
+  // One scan tracks the most recent falling edge so plateau-split merging
+  // can suppress a rising edge whose preceding low run is at most
+  // merge_gap_windows long (an interior dip, not a new CO). With the knob
+  // at 0 this reduces exactly to signal::rising_edges. The streaming
+  // runtime (StreamingLocator::on_filtered_value) mirrors this scan
+  // incrementally; keep the two in lockstep.
+  std::size_t last_fall = 0;
+  bool have_fall = false;
+  for (std::size_t i = 1; i < out.filtered.size(); ++i) {
+    const float prev = out.filtered[i - 1];
+    const float cur = out.filtered[i];
+    if (prev >= 0.0f && cur < 0.0f) {
+      last_fall = i;
+      have_fall = true;
+    } else if (prev < 0.0f && cur >= 0.0f) {
+      if (have_fall && i - last_fall <= config_.merge_gap_windows) continue;
+      out.co_starts.push_back(i * swc.stride);
+    }
   }
   return out;
 }

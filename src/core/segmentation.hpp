@@ -23,6 +23,20 @@ struct SegmenterConfig {
   std::size_t window_size = 0;
   /// Expected CO length in samples (diagnostics/auto sizing fallback).
   std::size_t expected_co_length = 0;
+  /// Plateau-split merging: a low run of at most this many windows between
+  /// two high runs in the filtered square wave is treated as an interior
+  /// dip of one plateau, so its rising edge is not reported as a separate
+  /// CO start. Bridges the raggedness countermeasure scenarios inflict
+  /// (interrupt preemption splitting a start plateau, gain steps / clock
+  /// jitter chipping windows out of it) without widening the median filter,
+  /// which would erase short genuine plateaus. 0 disables.
+  std::size_t merge_gap_windows = 0;
+  /// Drift-robust automatic threshold: when > 0, the Otsu histogram range
+  /// is clipped to the [p, 100-p] percentiles of the score distribution
+  /// instead of [min, max], so a handful of outlier scores (AGC gain jumps,
+  /// saturated drift) cannot squash the histogram into a few bins. 0 keeps
+  /// the exact min/max range.
+  double otsu_clip_percentile = 0.0;
 };
 
 struct Segmentation {
@@ -50,8 +64,15 @@ class Segmenter {
   static std::size_t resolve_median_k(const SegmenterConfig& config,
                                       std::size_t stride, std::size_t window);
 
-  /// Otsu's threshold on a score distribution (256-bin histogram).
-  static float otsu_threshold(std::span<const float> scores);
+  /// Otsu's threshold on a score distribution (256-bin histogram). When
+  /// `clip_percentile` > 0 the histogram range is clipped to the
+  /// [p, 100-p] percentiles (outliers land in the edge bins); 0 uses the
+  /// exact [min, max] range.
+  static float otsu_threshold(std::span<const float> scores,
+                              double clip_percentile);
+  static float otsu_threshold(std::span<const float> scores) {
+    return otsu_threshold(scores, 0.0);
+  }
 
  private:
   SegmenterConfig config_;

@@ -37,7 +37,10 @@ class SampleRing {
   std::span<const float> view(std::size_t begin, std::size_t count) const {
     detail::require(begin >= base_,
                     "SampleRing::view: samples already discarded");
-    detail::require(begin + count <= size(),
+    // Subtract instead of testing begin + count <= size(): the addition
+    // wraps for counts near SIZE_MAX and would accept a span far past the
+    // stream head.
+    detail::require(begin <= size() && count <= size() - begin,
                     "SampleRing::view: samples not yet received");
     return {buf_.data() + (begin - base_), count};
   }

@@ -45,6 +45,7 @@ StreamingLocator::StreamingLocator(const core::CoLocator& locator,
   detail::require(median_k_ % 2 == 1,
                   "StreamingLocator: median filter size must be odd");
   half_ = median_k_ / 2;
+  merge_gap_ = locator.segmenter_config().merge_gap_windows;
 
   coarse_ = locator.coarse_offset();
   fine_ = locator.fine_offset();
@@ -66,6 +67,7 @@ void StreamingLocator::reset() {
   sq_base_ = 0;
   filt_next_ = 0;
   prev_filt_ = 0.0f;
+  last_fall_.reset();
   raw_edges_.clear();
   pending_.clear();
   last_kept_.reset();
@@ -152,12 +154,18 @@ void StreamingLocator::emit_filtered(bool eof) {
 }
 
 void StreamingLocator::on_filtered_value(std::size_t index, float value) {
+  // Incremental mirror of Segmenter::segment's edge scan (keep in
+  // lockstep): rising edges become CO starts unless plateau-split merging
+  // bridges the preceding low run.
   if (index == 0) {
     // A plateau that starts at window 0 has no -1 -> +1 transition; the
     // offline segmenter treats a high beginning as a CO start at sample 0.
     if (value > 0.0f) raw_edges_.push_back(0);
+  } else if (prev_filt_ >= 0.0f && value < 0.0f) {
+    last_fall_ = index;
   } else if (prev_filt_ < 0.0f && value >= 0.0f) {
-    raw_edges_.push_back(index * stride_);
+    if (!(last_fall_.has_value() && index - *last_fall_ <= merge_gap_))
+      raw_edges_.push_back(index * stride_);
   }
   prev_filt_ = value;
 }

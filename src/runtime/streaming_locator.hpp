@@ -105,6 +105,7 @@ class StreamingLocator {
   float threshold_ = 0.0f;
   std::size_t median_k_ = 3;
   std::size_t half_ = 1;  ///< median_k_ / 2
+  std::size_t merge_gap_ = 0;  ///< Segmenter plateau-split merge width
   std::int64_t coarse_ = 0;
   std::int64_t fine_ = 0;
   bool fine_align_ = false;     ///< config flag (drives the fine_ stage)
@@ -120,6 +121,7 @@ class StreamingLocator {
   std::size_t sq_base_ = 0;       ///< window index of square_[0]
   std::size_t filt_next_ = 0;     ///< next median-filter index to emit
   float prev_filt_ = 0.0f;        ///< filtered[filt_next_ - 1]
+  std::optional<std::size_t> last_fall_;  ///< latest falling-edge window
   std::deque<std::size_t> raw_edges_;  ///< unrefined edges (sample indices)
   std::vector<Pending> pending_;       ///< refined, sorted by final_start
   std::optional<std::size_t> last_kept_;  ///< dedup state

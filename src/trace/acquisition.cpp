@@ -13,6 +13,10 @@ AcquisitionModel::AcquisitionModel(AcquisitionConfig config, std::uint64_t seed)
                   "AcquisitionModel: adc_bits out of range");
   detail::require(config_.full_scale_max > config_.full_scale_min,
                   "AcquisitionModel: invalid full-scale range");
+  detail::require(config_.gain_step_prob == 0.0 ||
+                      (config_.gain_min > 0.0 &&
+                       config_.gain_max >= config_.gain_min),
+                  "AcquisitionModel: invalid AGC gain range");
 }
 
 void AcquisitionModel::apply(std::vector<float>& samples) {
@@ -23,6 +27,13 @@ void AcquisitionModel::apply(std::vector<float>& samples) {
 
   for (auto& s : samples) {
     double v = s;
+    // AGC gain steps. The guard keeps the RNG stream untouched when the
+    // feature is off, so default-configured captures stay bit-identical.
+    if (config_.gain_step_prob > 0.0) {
+      if (rng_.bernoulli(config_.gain_step_prob))
+        gain_ = rng_.uniform(config_.gain_min, config_.gain_max);
+      v *= gain_;
+    }
     // Slow baseline wander.
     if (config_.drift_amplitude != 0.0 && config_.drift_period > 0.0) {
       const double phase =

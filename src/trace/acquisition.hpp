@@ -22,6 +22,14 @@ struct AcquisitionConfig {
   double full_scale_min = -0.5;  ///< ADC range lower bound (signal units)
   double full_scale_max = 2.0;   ///< ADC range upper bound
   bool enable_quantization = true;
+  /// AGC-style gain steps: with probability `gain_step_prob` per sample the
+  /// front-end gain jumps to a fresh uniform value in [gain_min, gain_max]
+  /// and stays there until the next step. The gain multiplies the clean
+  /// signal before drift/noise/quantization, modeling an auto-ranging
+  /// amplifier re-ranging mid-capture. 0 disables (gain pinned at 1).
+  double gain_step_prob = 0.0;
+  double gain_min = 1.0;
+  double gain_max = 1.0;
 };
 
 /// Applies the measurement chain to a clean trace, in place.
@@ -35,10 +43,14 @@ class AcquisitionModel {
 
   const AcquisitionConfig& config() const { return config_; }
 
+  /// Current AGC gain (1.0 until the first gain step fires).
+  double gain() const { return gain_; }
+
  private:
   AcquisitionConfig config_;
   Rng rng_;
   std::uint64_t sample_index_ = 0;  // global phase for the drift term
+  double gain_ = 1.0;               // persists across apply() calls
 };
 
 }  // namespace scalocate::trace

@@ -14,8 +14,11 @@ std::size_t detect_nop_boundary(std::span<const float> samples,
                                 std::size_t samples_per_op) {
   detail::require(samples_per_op >= 1,
                   "detect_nop_boundary: samples_per_op must be >= 1");
-  detail::require(samples.size() >= 16 * samples_per_op,
-                  "detect_nop_boundary: trace too short");
+  // Captures shorter than the smoothing + hold horizon (under 16
+  // instructions — shorter than one op included) cannot contain a
+  // measurable sled/CO boundary: report 0, which callers already treat as
+  // "whole capture is CO".
+  if (samples.size() < 16 * samples_per_op) return 0;
 
   // Smooth over ~8 instructions to average out random-delay dummy blips.
   const std::size_t ma_window = 8 * samples_per_op + 1;
@@ -23,9 +26,18 @@ std::size_t detect_nop_boundary(std::span<const float> samples,
 
   // Sled level: the capture is known to start inside the NOP sled.
   const std::size_t head = 8 * samples_per_op;
-  const double sled_level =
-      stats::mean(std::span<const float>(smooth.data(), head));
+  const std::span<const float> head_span(smooth.data(), head);
+  const double sled_level = stats::mean(head_span);
   const double high_level = stats::percentile(smooth, 90.0);
+
+  // Degenerate contrast: an all-sled capture (no CO to find) or one already
+  // active from sample 0 (head level == activity level) leaves nothing to
+  // threshold against — the midpoint would sit inside the noise band and
+  // the first noise run would win. The margin self-calibrates to the head
+  // region's own fluctuation (measurement noise + dummy-density wobble).
+  const double head_noise = stats::stddev(head_span);
+  if (high_level - sled_level < std::max(0.02, 4.0 * head_noise)) return 0;
+
   const float threshold = static_cast<float>(0.5 * (sled_level + high_level));
 
   // First position where the smoothed power stays above threshold for four
@@ -48,6 +60,7 @@ CipherAcquisition acquire_cipher_traces(const ScenarioConfig& config,
                                         const crypto::Key16& key) {
   SocConfig soc;
   soc.random_delay = config.random_delay;
+  soc.acquisition = config.acquisition;
   soc.seed = config.seed;
   SocSimulator sim(soc);
 
@@ -90,6 +103,7 @@ Trace acquire_noise_trace(const ScenarioConfig& config,
                           std::size_t approx_instructions) {
   SocConfig soc;
   soc.random_delay = config.random_delay;
+  soc.acquisition = config.acquisition;
   soc.seed = config.seed ^ 0x6e74ULL;
   SocSimulator sim(soc);
 
@@ -110,6 +124,7 @@ Trace acquire_eval_trace(const ScenarioConfig& config, std::size_t n_cos,
                          const crypto::Key16& key, bool interleave_noise) {
   SocConfig soc;
   soc.random_delay = config.random_delay;
+  soc.acquisition = config.acquisition;
   soc.seed = config.seed ^ 0x6576616cULL;
   SocSimulator sim(soc);
 
@@ -138,6 +153,240 @@ Trace acquire_eval_trace(const ScenarioConfig& config, std::size_t n_cos,
     }
   }
   return t;
+}
+
+void apply_clock_jitter(Trace& t, const ClockJitterConfig& config,
+                        std::uint64_t seed) {
+  detail::require(config.wobble >= 0.0 && config.wobble < 1.0,
+                  "apply_clock_jitter: wobble must be in [0, 1)");
+  detail::require(config.region_min >= 1 &&
+                      config.region_max >= config.region_min,
+                  "apply_clock_jitter: invalid region length range");
+  if (t.samples.empty() || config.wobble == 0.0) return;
+
+  // One DVFS region = one sample-rate factor. Record (orig_start,
+  // new_start, factor) per region so ground-truth indices can be remapped
+  // through the same warp afterwards.
+  struct Region {
+    std::size_t orig_start;
+    std::size_t new_start;
+    double factor;
+  };
+  std::vector<Region> regions;
+  std::vector<float> warped;
+  warped.reserve(t.samples.size());
+
+  Rng rng(seed);
+  const std::size_t n = t.samples.size();
+  std::size_t pos = 0;
+  while (pos < n) {
+    const auto span_len = std::min<std::size_t>(
+        n - pos, static_cast<std::size_t>(rng.uniform_int(
+                     static_cast<std::int64_t>(config.region_min),
+                     static_cast<std::int64_t>(config.region_max))));
+    const double factor = 1.0 + rng.uniform(-config.wobble, config.wobble);
+    regions.push_back({pos, warped.size(), factor});
+
+    const auto new_len = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(static_cast<double>(span_len) * factor)));
+    for (std::size_t j = 0; j < new_len; ++j) {
+      // Position j of the resampled region reads back from original offset
+      // j / factor, linearly interpolated between its neighbors.
+      const double src = static_cast<double>(j) / factor;
+      const auto lo = std::min<std::size_t>(span_len - 1,
+                                            static_cast<std::size_t>(src));
+      const std::size_t hi = std::min<std::size_t>(span_len - 1, lo + 1);
+      const double frac = src - static_cast<double>(lo);
+      const double a = t.samples[pos + lo];
+      const double b = t.samples[pos + hi];
+      warped.push_back(static_cast<float>(a + (b - a) * frac));
+    }
+    pos += span_len;
+  }
+
+  const auto remap = [&](std::size_t orig) {
+    // Regions are sorted by orig_start; find the one containing `orig`.
+    std::size_t r = regions.size() - 1;
+    while (r > 0 && regions[r].orig_start > orig) --r;
+    const double offset =
+        static_cast<double>(orig - regions[r].orig_start) * regions[r].factor;
+    const auto mapped =
+        regions[r].new_start + static_cast<std::size_t>(std::llround(offset));
+    return std::min(mapped, warped.size());
+  };
+  for (auto& co : t.cos) {
+    co.start_sample = std::min(remap(co.start_sample), warped.size() - 1);
+    co.end_sample = remap(co.end_sample);
+  }
+  t.samples = std::move(warped);
+}
+
+Trace acquire_preempted_eval_trace(const ScenarioConfig& config,
+                                   std::size_t n_cos,
+                                   const crypto::Key16& key) {
+  SocConfig soc;
+  soc.random_delay = config.random_delay;
+  soc.acquisition = config.acquisition;
+  soc.seed = config.seed ^ 0x70726576ULL;
+  SocSimulator sim(soc);
+
+  auto cipher = crypto::make_cipher(config.cipher, config.seed ^ 0x6d33ULL);
+  cipher->set_key(key);
+
+  Rng rng(config.seed ^ 0x70726d70ULL);
+
+  Trace t;
+  sim.run_noise_app(config.noise_app_min_instr, t);
+  for (std::size_t i = 0; i < n_cos; ++i) {
+    crypto::Block16 pt{};
+    rng.fill_bytes(pt.data(), pt.size());
+    sim.run_cipher_preempted(*cipher, pt, config.preemption,
+                             rng.next_u64(), t);
+    const auto app_len = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(config.noise_app_min_instr),
+        static_cast<std::int64_t>(config.noise_app_max_instr)));
+    sim.run_noise_app(app_len, t);
+  }
+  return t;
+}
+
+std::vector<std::size_t> ScenarioCapture::starts_of(
+    crypto::CipherId id) const {
+  std::vector<std::size_t> starts;
+  for (std::size_t i = 0; i < trace.cos.size(); ++i)
+    if (i < co_ciphers.size() && co_ciphers[i] == id)
+      starts.push_back(trace.cos[i].start_sample);
+  return starts;
+}
+
+ScenarioCapture acquire_mixed_eval_trace(const ScenarioConfig& config,
+                                         std::size_t n_cos,
+                                         const crypto::Key16& key) {
+  detail::require(config.mixed_cipher != config.cipher,
+                  "acquire_mixed_eval_trace: the two ciphers must differ");
+  SocConfig soc;
+  soc.random_delay = config.random_delay;
+  soc.acquisition = config.acquisition;
+  soc.seed = config.seed ^ 0x6d697865ULL;
+  SocSimulator sim(soc);
+
+  auto first = crypto::make_cipher(config.cipher, config.seed ^ 0x6d34ULL);
+  auto second =
+      crypto::make_cipher(config.mixed_cipher, config.seed ^ 0x6d35ULL);
+  first->set_key(key);
+  second->set_key(key);
+
+  Rng rng(config.seed ^ 0x6d697074ULL);
+
+  ScenarioCapture capture;
+  Trace& t = capture.trace;
+  sim.run_noise_app(config.noise_app_min_instr, t);
+  for (std::size_t i = 0; i < n_cos; ++i) {
+    crypto::Block16 pt{};
+    rng.fill_bytes(pt.data(), pt.size());
+    const bool use_second = i % 2 == 1;
+    sim.run_cipher(use_second ? *second : *first, pt, t);
+    capture.co_ciphers.push_back(use_second ? config.mixed_cipher
+                                            : config.cipher);
+    const auto app_len = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(config.noise_app_min_instr),
+        static_cast<std::int64_t>(config.noise_app_max_instr)));
+    sim.run_noise_app(app_len, t);
+  }
+  // run_cipher overwrites cipher_name per CO; a mixed capture has no single
+  // cipher, which is the point of the scenario.
+  t.cipher_name = "mixed";
+  return capture;
+}
+
+namespace {
+
+constexpr ScenarioCase kScenarios[] = {
+    {ScenarioKind::kConsecutive, "consecutive",
+     "COs back-to-back, scheduler gaps only (paper IV-B)"},
+    {ScenarioKind::kNoiseApps, "noise-apps",
+     "random noise application between COs (paper IV-B)"},
+    {ScenarioKind::kClockJitter, "clock-jitter",
+     "DVFS sample-rate wobble stretches/compresses plateaus"},
+    {ScenarioKind::kPreemption, "preemption",
+     "interrupt ISRs suspend each CO mid-execution"},
+    {ScenarioKind::kGainDrift, "gain-drift",
+     "strong baseline wander plus AGC gain steps"},
+    {ScenarioKind::kMixedCipher, "mixed-cipher",
+     "two ciphers interleaved in one capture"},
+    {ScenarioKind::kTruncatedTail, "truncated-tail",
+     "capture ends mid-CO (trailing CO, no falling edge)"},
+};
+
+}  // namespace
+
+std::span<const ScenarioCase> ScenarioSuite::all() { return kScenarios; }
+
+const ScenarioCase& ScenarioSuite::find(std::string_view name) {
+  for (const auto& c : kScenarios)
+    if (name == c.name) return c;
+  throw InvalidArgument("unknown scenario: " + std::string(name));
+}
+
+ScenarioCapture ScenarioSuite::acquire(const ScenarioCase& scenario,
+                                       const ScenarioConfig& config,
+                                       std::size_t n_cos,
+                                       const crypto::Key16& key) {
+  ScenarioCapture capture;
+  switch (scenario.kind) {
+    case ScenarioKind::kConsecutive:
+      capture.trace = acquire_eval_trace(config, n_cos, key, false);
+      break;
+    case ScenarioKind::kNoiseApps:
+      capture.trace = acquire_eval_trace(config, n_cos, key, true);
+      break;
+    case ScenarioKind::kClockJitter:
+      capture.trace = acquire_eval_trace(config, n_cos, key, true);
+      apply_clock_jitter(capture.trace, config.clock_jitter,
+                         config.seed ^ 0x6a697474ULL);
+      break;
+    case ScenarioKind::kPreemption:
+      capture.trace = acquire_preempted_eval_trace(config, n_cos, key);
+      break;
+    case ScenarioKind::kGainDrift: {
+      ScenarioConfig harsh = config;
+      harsh.acquisition.drift_amplitude = config.gain_drift.drift_amplitude;
+      harsh.acquisition.drift_period = config.gain_drift.drift_period;
+      harsh.acquisition.gain_step_prob = config.gain_drift.step_prob;
+      harsh.acquisition.gain_min = config.gain_drift.gain_min;
+      harsh.acquisition.gain_max = config.gain_drift.gain_max;
+      capture.trace = acquire_eval_trace(harsh, n_cos, key, true);
+      break;
+    }
+    case ScenarioKind::kMixedCipher: {
+      // A registry walk must work for ANY primary cipher, including the one
+      // that happens to be the default partner: substitute a differing
+      // partner instead of bubbling up acquire_mixed_eval_trace's require
+      // (which still guards explicit misuse of that API).
+      ScenarioConfig mixed = config;
+      if (mixed.mixed_cipher == mixed.cipher)
+        mixed.mixed_cipher = mixed.cipher == crypto::CipherId::kAes128
+                                 ? crypto::CipherId::kCamellia128
+                                 : crypto::CipherId::kAes128;
+      return acquire_mixed_eval_trace(mixed, n_cos, key);
+    }
+    case ScenarioKind::kTruncatedTail: {
+      capture.trace = acquire_eval_trace(config, n_cos, key, false);
+      if (!capture.trace.cos.empty()) {
+        // Cut one third into the trailing CO: well past its start motif,
+        // well before its falling edge.
+        CoAnnotation& last = capture.trace.cos.back();
+        const std::size_t cut =
+            last.start_sample + (last.end_sample - last.start_sample) / 3;
+        capture.trace.samples.resize(cut);
+        last.end_sample = cut;
+      }
+      break;
+    }
+  }
+  capture.co_ciphers.assign(capture.trace.cos.size(), config.cipher);
+  return capture;
 }
 
 }  // namespace scalocate::trace

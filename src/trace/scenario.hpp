@@ -1,4 +1,5 @@
-// Acquisition scenario builders (Section III-A and IV-B of the paper).
+// Acquisition scenario builders (Section III-A and IV-B of the paper) and
+// the countermeasure scenario suite that extends them.
 //
 // Three capture campaigns are modeled:
 //   1. Cipher acquisition  -- the attacker runs single COs on the clone
@@ -10,9 +11,18 @@
 //   3. Evaluation capture  -- a long trace containing n_cos CO executions,
 //      either back-to-back ("consecutive") or interleaved with random noise
 //      applications, used by the inference pipeline and the CPA attack.
+//
+// The paper evaluates only the two campaign-3 shapes above. Real targets
+// deploy nastier capture conditions, so ScenarioSuite adds hostile
+// variants of campaign 3 — clock-jitter/DVFS resampling, interrupt
+// preemption, amplitude drift + AGC gain steps, mixed-cipher captures, and
+// truncated tails — behind one registry so benches/tests/examples
+// enumerate every scenario uniformly (see bench/bench_robustness.cpp).
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string_view>
 #include <vector>
 
 #include "crypto/cipher.hpp"
@@ -35,6 +45,28 @@ struct CipherAcquisition {
   crypto::Key16 key{};  ///< attacker-chosen profiling key
 };
 
+/// Clock-jitter/DVFS capture condition: the effective sample rate wobbles
+/// per frequency-scaling region, stretching or compressing every plateau
+/// the locator keys on. Applied as a post-capture piecewise resampling
+/// (apply_clock_jitter) with the ground truth remapped through the warp.
+struct ClockJitterConfig {
+  double wobble = 0.08;          ///< max fractional sample-rate deviation
+  std::size_t region_min = 2048; ///< DVFS region length range (samples)
+  std::size_t region_max = 8192;
+};
+
+/// Amplitude drift / gain-step capture condition: strong slow baseline
+/// wander plus AGC re-ranging jumps (values copied into AcquisitionConfig
+/// by the scenario suite; the defaults here are deliberately harsher than
+/// the benign acquisition defaults).
+struct GainDriftConfig {
+  double drift_amplitude = 0.12;  ///< vs 0.03 in the benign chain
+  double drift_period = 12000;    ///< vs 50000: several cycles per trace
+  double step_prob = 1.0 / 24000; ///< a few AGC jumps per eval capture
+  double gain_min = 0.85;
+  double gain_max = 1.20;
+};
+
 struct ScenarioConfig {
   crypto::CipherId cipher = crypto::CipherId::kAes128;
   RandomDelayConfig random_delay = RandomDelayConfig::kRd4;
@@ -46,6 +78,17 @@ struct ScenarioConfig {
   /// detector's estimate (paper-faithful); when false, at the exact ground
   /// truth (for controlled experiments).
   bool cut_at_detected_boundary = true;
+
+  // --- countermeasure scenario knobs (ScenarioSuite) ---------------------
+  /// Measurement chain shared by every campaign. The gain-drift scenario
+  /// overrides parts of a copy; everything else uses it as configured.
+  AcquisitionConfig acquisition{};
+  ClockJitterConfig clock_jitter{};
+  PreemptionConfig preemption{};
+  GainDriftConfig gain_drift{};
+  /// Second cipher of the mixed-cipher scenario (interleaved with
+  /// `cipher` in one capture; located via the Engine's model registry).
+  crypto::CipherId mixed_cipher = crypto::CipherId::kCamellia128;
 };
 
 /// Campaign 1: `n_traces` single-CO captures under a chosen key.
@@ -69,7 +112,86 @@ Trace acquire_eval_trace(const ScenarioConfig& config, std::size_t n_cos,
 /// given that a NOP sled (with random-delay dummies mixed in) occupies the
 /// beginning. Returns the sample index where sustained activity starts.
 /// `samples_per_op` must match the simulator configuration.
+///
+/// Degenerate captures yield a defined result of 0 ("no sled boundary;
+/// treat the whole capture as CO") instead of a throw or an out-of-range
+/// scan: traces shorter than the detector's smoothing/hold horizon, all-
+/// sled traces with no activity to find, and traces already active from
+/// sample 0 (whose head level equals the activity level, leaving no
+/// contrast to threshold against).
 std::size_t detect_nop_boundary(std::span<const float> samples,
                                 std::size_t samples_per_op);
+
+/// Post-capture clock-jitter/DVFS model: splits the trace into regions of
+/// random length [region_min, region_max], resamples each by an
+/// independent rate factor in [1 - wobble, 1 + wobble] (linear
+/// interpolation), and remaps every ground-truth CO annotation through the
+/// same time warp. Quantization artifacts of re-sampling an already
+/// digitized capture are deliberately ignored: the scenario stresses the
+/// locator's tolerance to stretched/compressed plateaus, not the ADC.
+void apply_clock_jitter(Trace& t, const ClockJitterConfig& config,
+                        std::uint64_t seed);
+
+/// Campaign 3 variant: every CO is suspended mid-execution by noise ISRs
+/// (config.preemption), splitting its plateau; noise applications between
+/// COs as in acquire_eval_trace(interleave_noise=true).
+Trace acquire_preempted_eval_trace(const ScenarioConfig& config,
+                                   std::size_t n_cos,
+                                   const crypto::Key16& key);
+
+/// One scenario-suite eval capture: the trace plus the cipher that executed
+/// each annotated CO (mixed-cipher captures interleave two; every other
+/// scenario repeats the primary).
+struct ScenarioCapture {
+  Trace trace;
+  std::vector<crypto::CipherId> co_ciphers;  ///< size == trace.cos.size()
+
+  /// True start samples of the COs executed by `id`, ascending.
+  std::vector<std::size_t> starts_of(crypto::CipherId id) const;
+};
+
+/// Campaign 3 variant: COs from `config.cipher` and `config.mixed_cipher`
+/// alternate in one capture (both under `key`), interleaved with noise.
+ScenarioCapture acquire_mixed_eval_trace(const ScenarioConfig& config,
+                                         std::size_t n_cos,
+                                         const crypto::Key16& key);
+
+/// The countermeasure scenario registry. Benches, tests and examples
+/// enumerate capture conditions through this one table so a new scenario
+/// automatically lands in every robustness matrix.
+enum class ScenarioKind : std::uint8_t {
+  kConsecutive,   ///< paper IV-B: COs back-to-back
+  kNoiseApps,     ///< paper IV-B: noise applications between COs
+  kClockJitter,   ///< DVFS sample-rate wobble (apply_clock_jitter)
+  kPreemption,    ///< interrupt ISRs split each CO (run_cipher_preempted)
+  kGainDrift,     ///< strong baseline wander + AGC gain steps
+  kMixedCipher,   ///< two ciphers interleaved in one capture
+  kTruncatedTail, ///< capture cut mid-CO (trailing CO has no falling edge)
+};
+
+struct ScenarioCase {
+  ScenarioKind kind;
+  const char* name;         ///< stable id, e.g. "clock-jitter"
+  const char* description;  ///< one-liner for tables and docs
+};
+
+class ScenarioSuite {
+ public:
+  /// Every scenario, paper ones first.
+  static std::span<const ScenarioCase> all();
+
+  /// Lookup by stable name; throws InvalidArgument for unknown names.
+  static const ScenarioCase& find(std::string_view name);
+
+  /// Acquires the evaluation capture of one scenario: `n_cos` COs of
+  /// `config.cipher` under `key` (the mixed scenario alternates with
+  /// `config.mixed_cipher`; when that equals the primary — e.g. a Camellia
+  /// walk with the Camellia default partner — a differing partner is
+  /// substituted so a registry walk works for any primary cipher),
+  /// captured under the scenario's condition.
+  static ScenarioCapture acquire(const ScenarioCase& scenario,
+                                 const ScenarioConfig& config,
+                                 std::size_t n_cos, const crypto::Key16& key);
+};
 
 }  // namespace scalocate::trace

@@ -1,6 +1,9 @@
 #include "trace/soc_simulator.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace scalocate::trace {
 
@@ -89,6 +92,83 @@ void SocSimulator::run_cipher(const crypto::BlockCipher& cipher,
   RenderSink sink(power_model_, injector_, out.samples);
   emit_prologue(sink);
   const crypto::Block16 ciphertext = cipher.encrypt(plaintext, &sink);
+  emit_epilogue(sink);
+  apply_acquisition_tail(out, from);
+
+  CoAnnotation co;
+  co.start_sample = sink.first_program_sample();
+  co.end_sample = out.samples.size();
+  co.plaintext = plaintext;
+  co.ciphertext = ciphertext;
+  out.cos.push_back(co);
+  out.cipher_name = cipher.name();
+  out.random_delay_max = random_delay_bound(config_.random_delay);
+}
+
+void SocSimulator::run_cipher_preempted(const crypto::BlockCipher& cipher,
+                                        const crypto::Block16& plaintext,
+                                        const PreemptionConfig& preemption,
+                                        std::uint64_t seed, Trace& out) {
+  // Pass 1: count the encryption's instruction stream without rendering
+  // (and without touching the countermeasure TRNG), so interrupt arrival
+  // points can be drawn over the actual CO body.
+  struct CountSink final : crypto::EventSink {
+    std::size_t n = 0;
+    void on_event(const crypto::DataEvent&) override { ++n; }
+  } counter;
+  cipher.encrypt(plaintext, &counter);
+  detail::require(counter.n > 0, "run_cipher_preempted: cipher emits no events");
+
+  Rng rng(seed);
+  std::vector<std::size_t> points;
+  points.reserve(preemption.irqs_per_co);
+  for (std::size_t i = 0; i < preemption.irqs_per_co; ++i) {
+    // Strictly inside the body: never before the first instruction (that
+    // would just delay the CO, not suspend it) nor in the final stretch.
+    points.push_back(static_cast<std::size_t>(rng.uniform_int(
+        1, static_cast<std::int64_t>(std::max<std::size_t>(counter.n - 1,
+                                                           1)))));
+  }
+  std::sort(points.begin(), points.end());
+
+  const std::size_t from = out.samples.size();
+  RenderSink sink(power_model_, injector_, out.samples);
+  emit_prologue(sink);
+
+  // Pass 2: render, suspending the CO at each arrival point to run a noise
+  // ISR (with its own call prologue/epilogue) through the same random-delay
+  // + power-model chain before the cipher resumes.
+  struct PreemptingSink final : crypto::EventSink {
+    RenderSink& inner;
+    NoiseAppGenerator& noise;
+    Rng& rng;
+    const PreemptionConfig& cfg;
+    const std::vector<std::size_t>& points;
+    std::size_t idx = 0;
+    std::size_t next = 0;
+
+    PreemptingSink(RenderSink& inner, NoiseAppGenerator& noise, Rng& rng,
+                   const PreemptionConfig& cfg,
+                   const std::vector<std::size_t>& points)
+        : inner(inner), noise(noise), rng(rng), cfg(cfg), points(points) {}
+
+    void on_event(const crypto::DataEvent& event) override {
+      while (next < points.size() && idx == points[next]) {
+        const auto isr_len = static_cast<std::size_t>(rng.uniform_int(
+            static_cast<std::int64_t>(cfg.isr_min_instr),
+            static_cast<std::int64_t>(cfg.isr_max_instr)));
+        emit_prologue(inner);
+        noise.run_app(isr_len,
+                      [&](const crypto::DataEvent& e) { inner.on_event(e); });
+        emit_epilogue(inner);
+        ++next;
+      }
+      inner.on_event(event);
+      ++idx;
+    }
+  } preempting(sink, noise_gen_, rng, preemption, points);
+
+  const crypto::Block16 ciphertext = cipher.encrypt(plaintext, &preempting);
   emit_epilogue(sink);
   apply_acquisition_tail(out, from);
 

@@ -28,6 +28,15 @@ struct SocConfig {
   std::uint64_t seed = 1;  ///< master seed (TRNG, noise apps, acquisition)
 };
 
+/// Interrupt-preemption capture condition: while a CO executes, interrupts
+/// fire at random points inside the encryption and run a noise ISR before
+/// the CO resumes, splitting its activity plateau in the recorded trace.
+struct PreemptionConfig {
+  std::size_t irqs_per_co = 2;      ///< interrupts fired inside each CO
+  std::size_t isr_min_instr = 96;   ///< ISR length range (instructions)
+  std::size_t isr_max_instr = 384;
+};
+
 class SocSimulator {
  public:
   explicit SocSimulator(SocConfig config);
@@ -43,6 +52,16 @@ class SocSimulator {
 
   /// Executes one noise application of roughly `approx_instructions`.
   void run_noise_app(std::size_t approx_instructions, Trace& out);
+
+  /// Executes one encryption preempted by noise ISRs (see PreemptionConfig).
+  /// The ground-truth annotation spans the whole suspended execution —
+  /// start at the first CO instruction, end after the resumed tail — since
+  /// that is the region a located start must point into. `seed` drives the
+  /// interrupt arrival points and ISR lengths only.
+  void run_cipher_preempted(const crypto::BlockCipher& cipher,
+                            const crypto::Block16& plaintext,
+                            const PreemptionConfig& preemption,
+                            std::uint64_t seed, Trace& out);
 
   const SocConfig& config() const { return config_; }
 

@@ -86,6 +86,65 @@ TEST(Segmenter, AutoThresholdViaNaN) {
   EXPECT_EQ(seg.co_starts, (std::vector<std::size_t>{100}));
 }
 
+TEST(Segmenter, MergeGapBridgesShortPlateauSplits) {
+  // Plateau 10..16, two-window dip, plateau 18..24 — the shape interrupt
+  // preemption / gain steps leave behind.
+  std::vector<float> scores(40, -3.f);
+  for (int i = 10; i < 16; ++i) scores[static_cast<std::size_t>(i)] = 3.f;
+  for (int i = 18; i < 24; ++i) scores[static_cast<std::size_t>(i)] = 3.f;
+  SegmenterConfig cfg;
+  cfg.threshold = 0.0f;
+  cfg.median_filter_k = 1;  // identity filter: the dip reaches the scan
+  const auto split = Segmenter(cfg).segment(make_swc(scores, 10));
+  EXPECT_EQ(split.co_starts, (std::vector<std::size_t>{100, 180}));
+
+  cfg.merge_gap_windows = 2;
+  const auto merged = Segmenter(cfg).segment(make_swc(scores, 10));
+  EXPECT_EQ(merged.co_starts, (std::vector<std::size_t>{100}));
+}
+
+TEST(Segmenter, MergeGapKeepsGenuinelySeparatePlateaus) {
+  std::vector<float> scores(40, -3.f);
+  for (int i = 5; i < 11; ++i) scores[static_cast<std::size_t>(i)] = 3.f;
+  for (int i = 20; i < 26; ++i) scores[static_cast<std::size_t>(i)] = 3.f;
+  SegmenterConfig cfg;
+  cfg.threshold = 0.0f;
+  cfg.median_filter_k = 1;
+  cfg.merge_gap_windows = 2;  // gap of 9 windows stays a real separation
+  const auto seg = Segmenter(cfg).segment(make_swc(scores, 10));
+  EXPECT_EQ(seg.co_starts, (std::vector<std::size_t>{50, 200}));
+}
+
+TEST(Segmenter, MergeGapBridgesDipAfterFrontPlateau) {
+  std::vector<float> scores(20, -3.f);
+  for (int i = 0; i < 4; ++i) scores[static_cast<std::size_t>(i)] = 3.f;
+  for (int i = 6; i < 10; ++i) scores[static_cast<std::size_t>(i)] = 3.f;
+  SegmenterConfig cfg;
+  cfg.threshold = 0.0f;
+  cfg.median_filter_k = 1;
+  cfg.merge_gap_windows = 2;
+  const auto seg = Segmenter(cfg).segment(make_swc(scores, 10));
+  // The window-0 plateau and its resumption are one CO at sample 0.
+  EXPECT_EQ(seg.co_starts, (std::vector<std::size_t>{0}));
+}
+
+TEST(Segmenter, OtsuClippedRangeShrugsOffOutliers) {
+  // Bimodal mass at -5 and +5 with AGC-style outlier spikes: the unclipped
+  // histogram squashes the real modes into a couple of bins.
+  std::vector<float> scores;
+  for (int i = 0; i < 100; ++i) scores.push_back(-5.f + 0.01f * i);
+  for (int i = 0; i < 100; ++i) scores.push_back(5.f + 0.01f * i);
+  scores.push_back(1000.f);
+  scores.push_back(-1000.f);
+  const float clipped = Segmenter::otsu_threshold(scores, 2.0);
+  EXPECT_GT(clipped, -5.0f);
+  EXPECT_LT(clipped, 5.1f);
+  // Zero clip is exactly the legacy overload.
+  EXPECT_EQ(Segmenter::otsu_threshold(scores, 0.0),
+            Segmenter::otsu_threshold(scores));
+  EXPECT_THROW(Segmenter::otsu_threshold(scores, 50.0), Error);
+}
+
 // ---------------------------------------------------------------------------
 // Metrics
 // ---------------------------------------------------------------------------

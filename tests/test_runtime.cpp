@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <stdexcept>
 
 #include "core/locator.hpp"
@@ -43,6 +44,64 @@ TEST(SampleRing, AbsoluteIndexingSurvivesDiscards) {
     EXPECT_THROW(ring.view(0, 10), Error);
   // Future samples are never readable.
   EXPECT_THROW(ring.view(19990, 20), Error);
+}
+
+TEST(SampleRing, ViewRejectsHugeCountsWithoutOverflow) {
+  runtime::SampleRing ring;
+  std::vector<float> data(1000, 1.0f);
+  ring.append(data);
+  // Regression: begin + count used to wrap for counts near SIZE_MAX, so
+  // the bound check passed and view() returned a span far past the buffer.
+  EXPECT_THROW(ring.view(8, std::numeric_limits<std::size_t>::max() - 4),
+               Error);
+  EXPECT_THROW(ring.view(0, std::numeric_limits<std::size_t>::max()), Error);
+  EXPECT_THROW(ring.view(999, std::numeric_limits<std::size_t>::max() - 998),
+               Error);
+  // A begin past the stream head is rejected even for count 0.
+  EXPECT_THROW(ring.view(1001, 0), Error);
+  // Exact-fit views still work.
+  EXPECT_EQ(ring.view(0, 1000).size(), 1000u);
+  EXPECT_EQ(ring.view(1000, 0).size(), 0u);
+}
+
+TEST(SampleRing, DiscardBelowCompactionBoundaries) {
+  // Lazy compaction fires only once the dead prefix (a) reaches half the
+  // buffer AND (b) strictly exceeds 4096 samples. Probe both boundaries.
+  std::vector<float> data(8192);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<float>(i);
+
+  runtime::SampleRing half_only;
+  half_only.append(data);
+  half_only.discard_below(4096);  // exactly half AND exactly 4096: keep
+  EXPECT_EQ(half_only.oldest(), 0u);
+  half_only.discard_below(4097);  // one past both bounds: compact
+  EXPECT_EQ(half_only.oldest(), 4097u);
+  const auto v = half_only.view(4097, 64);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_FLOAT_EQ(v[i], static_cast<float>(4097 + i));
+
+  runtime::SampleRing above_4096;
+  above_4096.append(data);
+  above_4096.append(data);  // 16384 resident
+  above_4096.discard_below(4100);  // > 4096 but far below half: keep
+  EXPECT_EQ(above_4096.oldest(), 0u);
+
+  // Views track absolute indices across interleaved append/discard cycles
+  // (each append or compaction may invalidate prior spans; fresh views
+  // must still land on the right absolute samples).
+  runtime::SampleRing ring;
+  std::size_t expect_base = 0;
+  for (int round = 0; round < 8; ++round) {
+    ring.append(data);
+    const std::size_t keep = ring.size() > 6000 ? ring.size() - 6000 : 0;
+    ring.discard_below(keep);
+    expect_base = keep;
+    const auto view = ring.view(ring.size() - 10, 10);
+    for (std::size_t i = 0; i < 10; ++i)
+      EXPECT_FLOAT_EQ(view[i], static_cast<float>(8192 - 10 + i));
+    EXPECT_LE(ring.oldest(), expect_base);
+  }
 }
 
 TEST(SampleRing, DiscardIsMonotonicAndBounded) {
@@ -116,6 +175,9 @@ class RuntimeLocator : public ::testing::Test {
     // Streaming cannot run whole-trace Otsu, so parity requires the fixed
     // decision boundary of the linear class margin.
     lc.params.threshold = 0.0f;
+    // Plateau-split merging on, so every parity test below also proves the
+    // streaming scan mirrors the offline merge rule bit for bit.
+    lc.params.merge_gap_windows = 2;
     locator_ = new core::CoLocator(lc);
     locator_->train(acq, noise);
 
@@ -186,6 +248,37 @@ TEST_F(RuntimeLocator, StreamingMatchesOfflineChunkSmallerThanWindow) {
   // must wait several feeds before the first window exists).
   ASSERT_LT(48u, locator_->config().params.n_inf);
   EXPECT_EQ(stream_starts(eval_->samples, 48), *offline_);
+}
+
+TEST_F(RuntimeLocator, TruncatedTailParity) {
+  // A capture that stops mid-CO (trailing plateau, no falling edge) must
+  // produce identical detections offline and streamed, at every cut depth
+  // into the trailing CO and for chunk sizes around the window.
+  const auto& last = eval_->cos.back();
+  const std::size_t n_inf = locator_->config().params.n_inf;
+  const std::size_t co_len = last.end_sample - last.start_sample;
+  const std::size_t cuts[] = {last.start_sample + n_inf / 2,
+                              last.start_sample + 2 * n_inf,
+                              last.start_sample + co_len / 3,
+                              last.start_sample + co_len - 1};
+  for (const std::size_t cut : cuts) {
+    ASSERT_LT(cut, eval_->samples.size());
+    const std::span<const float> sub(eval_->samples.data(), cut);
+    const auto offline = locator_->locate(sub);
+    EXPECT_EQ(stream_starts(sub, 1024), offline) << "cut=" << cut;
+    EXPECT_EQ(stream_starts(sub, 97), offline) << "cut=" << cut;
+    EXPECT_EQ(stream_starts(sub, sub.size()), offline) << "cut=" << cut;
+  }
+}
+
+TEST_F(RuntimeLocator, ScenarioSuiteStreamingParity) {
+  // Every countermeasure scenario in the registry must keep the streaming
+  // path bit-identical to offline locate — hostile captures included.
+  for (const auto& c : trace::ScenarioSuite::all()) {
+    const auto cap = trace::ScenarioSuite::acquire(c, *sc_, 6, *key_);
+    const auto offline = locator_->locate(cap.trace.samples);
+    EXPECT_EQ(stream_starts(cap.trace.samples, 2048), offline) << c.name;
+  }
 }
 
 TEST_F(RuntimeLocator, StreamingEmitsOnlineNotJustAtFinish) {

@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <set>
+#include <string>
 
+#include "common/error.hpp"
 #include "common/stats.hpp"
 #include "trace/acquisition.hpp"
 #include "trace/noise_apps.hpp"
@@ -327,6 +329,247 @@ TEST(Scenario, EvalTraceCarriesAllCos) {
   cipher->set_key(key);
   for (const auto& co : t.cos)
     EXPECT_EQ(co.ciphertext, cipher->encrypt(co.plaintext));
+}
+
+TEST(Scenario, NopBoundaryDegenerateInputsAreDefined) {
+  // Shorter than one op, and shorter than the smoothing/hold horizon: no
+  // boundary is measurable; 0 = "whole capture is CO".
+  EXPECT_EQ(detect_nop_boundary({}, 4), 0u);
+  const std::vector<float> tiny(3, 0.5f);
+  EXPECT_EQ(detect_nop_boundary(tiny, 4), 0u);
+  const std::vector<float> sub(16 * 4 - 1, 0.5f);
+  EXPECT_EQ(detect_nop_boundary(sub, 4), 0u);
+}
+
+TEST(Scenario, NopBoundaryAllSledReturnsZero) {
+  // A pure NOP sled has no activity boundary to find.
+  SocConfig cfg;
+  cfg.random_delay = RandomDelayConfig::kOff;
+  SocSimulator sim(cfg);
+  Trace t;
+  sim.run_nop_sled(512, t);
+  EXPECT_EQ(detect_nop_boundary(t.samples, cfg.power.samples_per_op), 0u);
+}
+
+TEST(Scenario, NopBoundaryActiveFromSampleZeroIsDefined) {
+  // A capture with activity from sample 0 (no sled) has a head level equal
+  // to the activity level: the detector must return a defined in-range
+  // index (ideally 0) instead of a noise-band scan.
+  SocConfig cfg;
+  cfg.random_delay = RandomDelayConfig::kRd2;
+  SocSimulator sim(cfg);
+  auto cipher = crypto::make_cipher(crypto::CipherId::kAes128);
+  cipher->set_key(crypto::Key16{});
+  Trace t;
+  sim.run_cipher(*cipher, crypto::Block16{}, t);
+  const auto b = detect_nop_boundary(t.samples, cfg.power.samples_per_op);
+  EXPECT_LE(b, t.samples.size());
+  // The boundary must not claim the bulk of the CO is sled.
+  EXPECT_LT(b, t.samples.size() / 4);
+}
+
+TEST(Acquisition, GainStepsArePiecewiseConstantWithinRange) {
+  AcquisitionConfig cfg;
+  cfg.noise_sigma = 0.0;
+  cfg.drift_amplitude = 0.0;
+  cfg.enable_quantization = false;
+  cfg.gain_step_prob = 1.0 / 100.0;
+  cfg.gain_min = 0.5;
+  cfg.gain_max = 2.0;
+  AcquisitionModel acq(cfg, 9);
+  std::vector<float> samples(20000, 1.0f);
+  acq.apply(samples);
+  std::set<float> levels(samples.begin(), samples.end());
+  EXPECT_GT(levels.size(), 3u);  // several AGC re-rangings happened
+  for (float v : samples) {
+    EXPECT_GE(v, 0.5f - 1e-6f);
+    EXPECT_LE(v, 2.0f + 1e-6f);
+  }
+  // Piecewise constant: far fewer level changes than samples.
+  std::size_t changes = 0;
+  for (std::size_t i = 1; i < samples.size(); ++i)
+    changes += samples[i] != samples[i - 1];
+  EXPECT_LT(changes, samples.size() / 10);
+}
+
+TEST(Acquisition, GainStepsOffKeepsLegacyRngStream) {
+  // The AGC path must not consume RNG draws when disabled, so default
+  // captures stay bit-identical to the pre-AGC implementation.
+  AcquisitionConfig with_fields;
+  with_fields.gain_step_prob = 0.0;
+  with_fields.gain_min = 0.1;  // ignored while prob is 0
+  with_fields.gain_max = 7.0;
+  AcquisitionModel a(AcquisitionConfig{}, 11), b(with_fields, 11);
+  std::vector<float> x(5000, 0.8f), y(5000, 0.8f);
+  a.apply(x);
+  b.apply(y);
+  EXPECT_EQ(x, y);
+}
+
+TEST(SocSimulator, PreemptedCipherIsLongerAndAnnotated) {
+  const auto run = [](bool preempted) {
+    SocConfig cfg;
+    cfg.random_delay = RandomDelayConfig::kRd2;
+    SocSimulator sim(cfg);
+    auto cipher = crypto::make_cipher(crypto::CipherId::kAes128);
+    cipher->set_key(crypto::Key16{});
+    crypto::Block16 pt{};
+    pt[3] = 0x5a;
+    Trace t;
+    if (preempted) {
+      PreemptionConfig pc;
+      pc.irqs_per_co = 2;
+      pc.isr_min_instr = 200;
+      pc.isr_max_instr = 400;
+      sim.run_cipher_preempted(*cipher, pt, pc, 123, t);
+    } else {
+      sim.run_cipher(*cipher, pt, t);
+    }
+    return t;
+  };
+  const Trace plain = run(false);
+  const Trace preempted = run(true);
+  // Two ISRs of >= 200 instructions each, with prologue/epilogue, rendered
+  // at >= samples_per_op samples per instruction.
+  EXPECT_GT(preempted.size(), plain.size() + 2 * 200 * 4);
+  ASSERT_EQ(preempted.cos.size(), 1u);
+  EXPECT_LT(preempted.cos[0].start_sample, preempted.cos[0].end_sample);
+  EXPECT_EQ(preempted.cos[0].end_sample, preempted.size());
+  // The suspended execution still computes the right ciphertext.
+  auto cipher = crypto::make_cipher(crypto::CipherId::kAes128);
+  cipher->set_key(crypto::Key16{});
+  EXPECT_EQ(preempted.cos[0].ciphertext,
+            cipher->encrypt(preempted.cos[0].plaintext));
+}
+
+TEST(Scenario, ClockJitterRemapsGroundTruthThroughTheWarp) {
+  // On a ramp trace, linear interpolation preserves sample values as
+  // original positions: samples[warped_index] ~ original_index, which
+  // verifies the annotation remap agrees with the sample warp.
+  Trace t;
+  t.samples.resize(30000);
+  for (std::size_t i = 0; i < t.samples.size(); ++i)
+    t.samples[i] = static_cast<float>(i);
+  t.cos.push_back({5000, 12000, {}, {}});
+  t.cos.push_back({20000, 28000, {}, {}});
+
+  ClockJitterConfig cfg;  // wobble 0.08
+  apply_clock_jitter(t, cfg, 99);
+
+  EXPECT_GT(t.samples.size(), static_cast<std::size_t>(30000 * 0.90));
+  EXPECT_LT(t.samples.size(), static_cast<std::size_t>(30000 * 1.10));
+  const std::size_t originals[] = {5000, 12000, 20000, 28000};
+  const std::size_t warped[] = {t.cos[0].start_sample, t.cos[0].end_sample,
+                                t.cos[1].start_sample, t.cos[1].end_sample};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_LT(warped[static_cast<std::size_t>(i)], t.samples.size() + 1);
+    const std::size_t w = std::min(warped[static_cast<std::size_t>(i)],
+                                   t.samples.size() - 1);
+    EXPECT_NEAR(t.samples[w], static_cast<float>(originals[i]), 4.0f);
+  }
+  EXPECT_LT(t.cos[0].start_sample, t.cos[0].end_sample);
+  EXPECT_LT(t.cos[0].end_sample, t.cos[1].start_sample);
+}
+
+TEST(Scenario, ClockJitterZeroWobbleIsIdentity) {
+  Trace t;
+  t.samples = {1.f, 2.f, 3.f, 4.f};
+  t.cos.push_back({1, 3, {}, {}});
+  ClockJitterConfig cfg;
+  cfg.wobble = 0.0;
+  apply_clock_jitter(t, cfg, 7);
+  EXPECT_EQ(t.samples, (std::vector<float>{1.f, 2.f, 3.f, 4.f}));
+  EXPECT_EQ(t.cos[0].start_sample, 1u);
+}
+
+TEST(Scenario, MixedCaptureInterleavesTwoCiphers) {
+  ScenarioConfig sc;
+  sc.cipher = crypto::CipherId::kAes128;
+  sc.mixed_cipher = crypto::CipherId::kClefia128;
+  sc.random_delay = RandomDelayConfig::kRd2;
+  sc.seed = 31;
+  crypto::Key16 key{};
+  key[0] = 0x11;
+  const auto cap = acquire_mixed_eval_trace(sc, 6, key);
+  ASSERT_EQ(cap.trace.cos.size(), 6u);
+  ASSERT_EQ(cap.co_ciphers.size(), 6u);
+  EXPECT_EQ(cap.starts_of(crypto::CipherId::kAes128).size(), 3u);
+  EXPECT_EQ(cap.starts_of(crypto::CipherId::kClefia128).size(), 3u);
+  // Each annotated ciphertext verifies against its own cipher.
+  auto aes = crypto::make_cipher(crypto::CipherId::kAes128);
+  auto clefia = crypto::make_cipher(crypto::CipherId::kClefia128);
+  aes->set_key(key);
+  clefia->set_key(key);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto& co = cap.trace.cos[i];
+    const auto& c =
+        cap.co_ciphers[i] == crypto::CipherId::kAes128 ? aes : clefia;
+    EXPECT_EQ(co.ciphertext, c->encrypt(co.plaintext));
+  }
+  EXPECT_THROW(
+      {
+        ScenarioConfig bad = sc;
+        bad.mixed_cipher = bad.cipher;
+        acquire_mixed_eval_trace(bad, 2, key);
+      },
+      Error);
+}
+
+TEST(Scenario, SuiteEnumeratesEveryScenarioUniformly) {
+  const auto cases = ScenarioSuite::all();
+  ASSERT_GE(cases.size(), 7u);
+  std::set<std::string> names;
+  for (const auto& c : cases) names.insert(c.name);
+  EXPECT_EQ(names.size(), cases.size());  // stable unique names
+  EXPECT_EQ(ScenarioSuite::find("clock-jitter").kind,
+            ScenarioKind::kClockJitter);
+  EXPECT_THROW(ScenarioSuite::find("no-such-scenario"), Error);
+
+  ScenarioConfig sc;
+  sc.cipher = crypto::CipherId::kAes128;
+  sc.random_delay = RandomDelayConfig::kRd2;
+  sc.seed = 41;
+  crypto::Key16 key{};
+  for (const auto& c : cases) {
+    const auto cap = ScenarioSuite::acquire(c, sc, 2, key);
+    ASSERT_EQ(cap.trace.cos.size(), 2u) << c.name;
+    ASSERT_EQ(cap.co_ciphers.size(), 2u) << c.name;
+    for (const auto& co : cap.trace.cos) {
+      EXPECT_LT(co.start_sample, co.end_sample) << c.name;
+      EXPECT_LE(co.end_sample, cap.trace.size()) << c.name;
+    }
+  }
+}
+
+TEST(Scenario, SuiteWalkWorksWhenPrimaryEqualsDefaultPartner) {
+  // A registry walk must not throw for the cipher that happens to be the
+  // default mixed partner (Camellia): the suite substitutes a differing
+  // partner. Explicit misuse of the mixed API still throws (tested above).
+  ScenarioConfig sc;
+  sc.cipher = crypto::CipherId::kCamellia128;
+  ASSERT_EQ(sc.mixed_cipher, sc.cipher);
+  sc.random_delay = RandomDelayConfig::kRd2;
+  sc.seed = 47;
+  crypto::Key16 key{};
+  const auto cap = ScenarioSuite::acquire(ScenarioSuite::find("mixed-cipher"),
+                                          sc, 4, key);
+  ASSERT_EQ(cap.trace.cos.size(), 4u);
+  EXPECT_EQ(cap.starts_of(crypto::CipherId::kCamellia128).size(), 2u);
+  EXPECT_EQ(cap.starts_of(crypto::CipherId::kAes128).size(), 2u);
+}
+
+TEST(Scenario, TruncatedTailEndsMidCo) {
+  ScenarioConfig sc;
+  sc.random_delay = RandomDelayConfig::kRd2;
+  sc.seed = 43;
+  crypto::Key16 key{};
+  const auto& c = ScenarioSuite::find("truncated-tail");
+  const auto cap = ScenarioSuite::acquire(c, sc, 3, key);
+  ASSERT_EQ(cap.trace.cos.size(), 3u);
+  // The capture stops exactly at the trailing CO's (clamped) end: there is
+  // CO material after the last start but no falling edge.
+  EXPECT_EQ(cap.trace.cos.back().end_sample, cap.trace.size());
+  EXPECT_GT(cap.trace.size(), cap.trace.cos.back().start_sample);
 }
 
 TEST(Scenario, NoiseTraceHasNoCos) {

@@ -1,0 +1,19 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "scalocate::scalocate" for configuration "Release"
+set_property(TARGET scalocate::scalocate APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(scalocate::scalocate PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libscalocate.a"
+  )
+
+list(APPEND _cmake_import_check_targets scalocate::scalocate )
+list(APPEND _cmake_import_check_files_for_scalocate::scalocate "${_IMPORT_PREFIX}/lib/libscalocate.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,170 @@
+// bench_check: gates CI on the BENCH_*.json snapshots the benches emit.
+//
+//   bench_check <thresholds.json> <snapshot.json> [<snapshot.json> ...]
+//
+// Thresholds file layout:
+//
+//   {
+//     "checks": [
+//       {"bench": "service", "path": "rows.0.traces_per_s", "min": 0.05},
+//       {"bench": "robustness", "path": "parity_failures", "max": 0},
+//       {"bench": "micro", "path": "gflops.BM_GemmBlocked/256",
+//        "ref": 2.0, "tol": 0.5}
+//     ]
+//   }
+//
+// Each check names the snapshot it applies to by its top-level "bench"
+// field (snapshots are matched by content, not filename, so CI can glob
+// BENCH_*.json without caring about ordering). "path" is a dotted path into
+// the snapshot (array indices are numeric steps; path segments themselves
+// never contain '.'). Constraints, any combination:
+//
+//   min        value >= min
+//   max        value <= max
+//   ref + tol  |value - ref| <= tol * ref  (relative tolerance band; with
+//              ref == 0 the band degenerates to |value| <= tol)
+//
+// A missing snapshot, unparseable JSON, missing path, or non-numeric value
+// is a violation, not a skip: thresholds reference what the benches promise
+// to emit, and silent skips would let the contract rot. Exit status is the
+// number of violations (capped at 125), each listed on stderr.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+using scalocate::obs::JsonValue;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct Violation {
+  std::string text;
+};
+
+/// Numeric field of a check object, or fallback when absent.
+bool get_number(const JsonValue& obj, const std::string& key, double* out) {
+  const JsonValue* v = obj.find(key);
+  if (!v || !v->is_number()) return false;
+  *out = v->number;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: bench_check <thresholds.json> <snapshot.json>...\n");
+    return 64;
+  }
+
+  std::vector<Violation> violations;
+  auto violate = [&](const std::string& text) {
+    violations.push_back({text});
+    std::fprintf(stderr, "VIOLATION: %s\n", text.c_str());
+  };
+
+  JsonValue thresholds;
+  try {
+    thresholds = JsonValue::parse(read_file(argv[1]));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_check: bad thresholds file %s: %s\n", argv[1],
+                 e.what());
+    return 65;
+  }
+  const JsonValue* checks = thresholds.find("checks");
+  if (!checks || !checks->is_array()) {
+    std::fprintf(stderr, "bench_check: thresholds file has no \"checks\"\n");
+    return 65;
+  }
+
+  // Snapshots keyed by their self-declared "bench" name.
+  std::vector<std::pair<std::string, JsonValue>> snapshots;
+  for (int i = 2; i < argc; ++i) {
+    try {
+      JsonValue snap = JsonValue::parse(read_file(argv[i]));
+      const JsonValue* bench = snap.find("bench");
+      if (!bench || !bench->is_string())
+        throw std::runtime_error("no top-level \"bench\" string");
+      std::printf("loaded %s (bench \"%s\")\n", argv[i],
+                  bench->string.c_str());
+      snapshots.emplace_back(bench->string, std::move(snap));
+    } catch (const std::exception& e) {
+      violate(std::string(argv[i]) + ": " + e.what());
+    }
+  }
+
+  std::size_t passed = 0;
+  for (const JsonValue& check : checks->array) {
+    const JsonValue* bench = check.find("bench");
+    const JsonValue* path = check.find("path");
+    if (!bench || !bench->is_string() || !path || !path->is_string()) {
+      violate("malformed check (needs \"bench\" and \"path\" strings)");
+      continue;
+    }
+    const std::string where = bench->string + ":" + path->string;
+
+    const JsonValue* snap = nullptr;
+    for (const auto& [name, value] : snapshots)
+      if (name == bench->string) snap = &value;
+    if (!snap) {
+      violate(where + ": no snapshot with bench \"" + bench->string + "\"");
+      continue;
+    }
+
+    const JsonValue* node = snap->at_path(path->string);
+    if (!node) {
+      violate(where + ": path missing from snapshot");
+      continue;
+    }
+    if (!node->is_number()) {
+      violate(where + ": value is not numeric");
+      continue;
+    }
+    const double value = node->number;
+
+    bool ok = true;
+    double min = 0, max = 0, ref = 0, tol = 0;
+    std::string detail;
+    if (get_number(check, "min", &min) && value < min) {
+      ok = false;
+      detail = "value " + std::to_string(value) + " < min " +
+               std::to_string(min);
+    }
+    if (get_number(check, "max", &max) && value > max) {
+      ok = false;
+      detail = "value " + std::to_string(value) + " > max " +
+               std::to_string(max);
+    }
+    if (get_number(check, "ref", &ref) && get_number(check, "tol", &tol)) {
+      const double band = ref != 0.0 ? tol * (ref < 0 ? -ref : ref) : tol;
+      const double diff = value - ref;
+      if ((diff < 0 ? -diff : diff) > band) {
+        ok = false;
+        detail = "value " + std::to_string(value) + " outside " +
+                 std::to_string(ref) + " +/- " + std::to_string(band);
+      }
+    }
+    if (ok) {
+      ++passed;
+    } else {
+      violate(where + ": " + detail);
+    }
+  }
+
+  std::printf("bench_check: %zu checks passed, %zu violations\n", passed,
+              violations.size());
+  const std::size_t n = violations.size();
+  return static_cast<int>(n > 125 ? 125 : n);
+}

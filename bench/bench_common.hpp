@@ -9,12 +9,16 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "core/locator.hpp"
 #include "core/metrics.hpp"
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
 #include "trace/scenario.hpp"
 
 namespace scalocate::bench {
@@ -51,18 +55,13 @@ struct Timer {
   }
 };
 
-/// Linear-interpolated percentile of a sample set; q in [0, 1]. Sorts a
-/// copy, so callers can pass their raw latency log.
+/// Linear-interpolated percentile of a sample set; q clamped into [0, 1]
+/// (q=0 min, q=1 max; single-sample input returns that sample for any q).
+/// Thin forwarder to the system-wide implementation in obs/histogram.hpp —
+/// the same rank convention obs::Histogram::Snapshot::quantile answers
+/// bucketed queries with, so bench numbers and telemetry snapshots agree.
 inline double percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  if (q <= 0.0) return values.front();
-  if (q >= 1.0) return values.back();
-  const double pos = q * static_cast<double>(values.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const double frac = pos - static_cast<double>(lo);
-  if (lo + 1 >= values.size()) return values.back();
-  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+  return obs::percentile(std::move(values), q);
 }
 
 /// Latency/throughput summary of one benchmark run (latencies in seconds
@@ -95,6 +94,51 @@ inline LatencySummary summarize_latencies(
   s.throughput_per_s =
       wall_seconds > 0.0 ? static_cast<double>(s.count) / wall_seconds : 0.0;
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_*.json snapshots: every reproduction bench emits a machine-readable
+// twin of its stdout report, so CI can gate on regressions instead of
+// reconstructing the perf trajectory from prose. Layout contract (consumed
+// by bench_check and the perf-regression CI job): a top-level object with
+// "bench" (string), "scale" (double), and bench-specific sections; latency
+// summaries always spell out p50_ms/p99_ms/traces_per_s.
+// ---------------------------------------------------------------------------
+
+/// Output path for a bench snapshot: $SCALOCATE_BENCH_DIR/BENCH_<name>.json
+/// (directory defaults to the working directory).
+inline std::string bench_json_path(const std::string& name) {
+  std::string dir = ".";
+  if (const char* d = std::getenv("SCALOCATE_BENCH_DIR")) dir = d;
+  return dir + "/BENCH_" + name + ".json";
+}
+
+/// Writes the snapshot and echoes the path on stdout (the CI jobs grep for
+/// the "wrote " line to know emission happened).
+inline void write_bench_json(const std::string& name,
+                             const obs::JsonWriter& writer) {
+  const std::string path = bench_json_path(name);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  detail::require(static_cast<bool>(out),
+                  "write_bench_json: cannot open " + path);
+  out << writer.str() << "\n";
+  detail::require(static_cast<bool>(out),
+                  "write_bench_json: short write to " + path);
+  out.close();
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Emits a LatencySummary as a JSON object value under the current writer
+/// position (caller supplies the key).
+inline void summary_to_json(obs::JsonWriter& w, const LatencySummary& s) {
+  w.begin_object();
+  w.kv("count", s.count);
+  w.kv("p50_ms", s.p50_ms);
+  w.kv("p99_ms", s.p99_ms);
+  w.kv("mean_ms", s.mean_ms);
+  w.kv("max_ms", s.max_ms);
+  w.kv("traces_per_s", s.throughput_per_s);
+  w.end_object();
 }
 
 /// Trains a locator for one (cipher, RD) pair on freshly acquired traces.

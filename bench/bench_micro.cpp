@@ -3,8 +3,15 @@
 // CNN window scoring, CPA trace accumulation, the SoC simulator, and the
 // segmentation DSP blocks. The conv/GEMM cases feed the README
 // "Performance" table.
+//
+// Besides the console report, every run is collected into BENCH_micro.json
+// (custom main below): per-case times plus a flat "gflops" map keyed by
+// case name — the fields the perf-regression CI job gates on — and, when
+// the library was built with SCALOCATE_PROFILE, the global registry's
+// kernel FLOP counters and per-shape timing histograms.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "common/signal.hpp"
 #include "core/model.hpp"
@@ -12,6 +19,7 @@
 #include "nn/init.hpp"
 #include "nn/kernels/gemm.hpp"
 #include "nn/kernels/reference.hpp"
+#include "obs/registry.hpp"
 #include "sca/cpa.hpp"
 #include "trace/scenario.hpp"
 #include "trace/soc_simulator.hpp"
@@ -253,6 +261,78 @@ void BM_NormalizedCrossCorrelation(benchmark::State& state) {
 }
 BENCHMARK(BM_NormalizedCrossCorrelation);
 
+// --- BENCH_micro.json emission ---------------------------------------------
+
+/// ConsoleReporter that also collects every finished run, so the snapshot
+/// sees exactly what was printed (works without --benchmark_out, which the
+/// stock display/file reporter split requires).
+class SnapshotReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Case {
+    std::string name;
+    std::int64_t iterations = 0;
+    double real_time_ns = 0.0;  ///< adjusted per-iteration real time
+    double cpu_time_ns = 0.0;
+    std::vector<std::pair<std::string, double>> counters;  ///< e.g. GFLOP/s
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Case c;
+      c.name = run.benchmark_name();
+      c.iterations = run.iterations;
+      c.real_time_ns = run.GetAdjustedRealTime();
+      c.cpu_time_ns = run.GetAdjustedCPUTime();
+      for (const auto& [name, counter] : run.counters)
+        c.counters.emplace_back(name, counter.value);
+      cases.push_back(std::move(c));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Case> cases;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  SnapshotReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.kv("bench", "micro");
+  json.kv("scale", bench::scale());
+  json.key("cases").begin_array();
+  for (const auto& c : reporter.cases) {
+    json.begin_object();
+    json.kv("name", c.name);
+    json.kv("iterations", static_cast<std::int64_t>(c.iterations));
+    json.kv("real_time_ns", c.real_time_ns);
+    json.kv("cpu_time_ns", c.cpu_time_ns);
+    json.key("counters").begin_object();
+    for (const auto& [name, value] : c.counters) json.kv(name, value);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  // Flat name -> GFLOP/s map: the stable paths the CI thresholds reference
+  // (case names contain '/' but never '.', so dotted-path lookup works).
+  json.key("gflops").begin_object();
+  for (const auto& c : reporter.cases)
+    for (const auto& [name, value] : c.counters)
+      if (name == "GFLOP/s") json.kv(c.name, value);
+  json.end_object();
+  // Kernel-layer telemetry (counters advance only under SCALOCATE_PROFILE;
+  // otherwise this snapshot is empty).
+  json.key("metrics");
+  obs::Registry::global().render_json_into(json);
+  json.end_object();
+  bench::write_bench_json("micro", json);
+
+  benchmark::Shutdown();
+  return 0;
+}

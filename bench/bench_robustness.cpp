@@ -28,6 +28,12 @@
 //
 // Exit status: 1 on any streaming/offline parity mismatch, 2 when the
 // aggregate hit rate falls below SCALOCATE_HIT_FLOOR.
+//
+// Machine-readable twin: the full matrix (per-cell hit rates, aggregate,
+// parity) is written to BENCH_robustness.json BEFORE the floor/parity exit
+// checks run, so a failing run still leaves the snapshot for CI triage —
+// the robustness-smoke job gates on the JSON's aggregate_hit_rate and
+// parity_failures fields via bench_check rather than parsing this stdout.
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -35,6 +41,7 @@
 #include "api/scalocate.hpp"
 #include "bench_common.hpp"
 #include "common/table.hpp"
+#include "obs/registry.hpp"
 
 using namespace scalocate;
 
@@ -115,8 +122,20 @@ int main() {
   std::printf("\n");
 
   // One Engine serves both models; every cell goes through its Session.
-  api::Engine engine({.workers = 2});
+  // The registry captures per-model serving metrics across the whole
+  // matrix; its snapshot is embedded in BENCH_robustness.json.
+  obs::Registry registry;
+  api::Engine engine({.workers = 2, .registry = &registry});
   for (const auto& s : setups) engine.attach_model(s.locator);
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.kv("bench", "robustness");
+  json.kv("scale", bench::scale());
+  json.kv("epochs", bench::bench_epochs());
+  json.kv("cos_per_capture", n_cos);
+  json.kv("floor", floor);
+  json.key("cells").begin_array();
 
   TextTable table({"Cipher", "Scenario", "Hits", "Hit rate",
                    "MeanErr(samples)", "FalseAlarms", "Stream parity"});
@@ -160,6 +179,17 @@ int main() {
                      format_fixed(score.mean_abs_error, 1),
                      std::to_string(score.false_alarms),
                      parity ? "EXACT" : "MISMATCH"});
+
+      json.begin_object();
+      json.kv("cipher", api::metric_model_name(ciphers[ci]));
+      json.kv("scenario", scenario.name);
+      json.kv("hits", score.hits);
+      json.kv("true_cos", score.true_cos);
+      json.kv("hit_rate", score.hit_rate());
+      json.kv("mean_abs_error", score.mean_abs_error);
+      json.kv("false_alarms", score.false_alarms);
+      json.kv("stream_parity", parity);
+      json.end_object();
     }
     if (ci + 1 < std::size(ciphers)) table.add_separator();
   }
@@ -174,6 +204,19 @@ int main() {
               format_percent(aggregate, 1).c_str(), total_hits, total_true,
               format_percent(min_hit_rate, 1).c_str(),
               rows - parity_failures, rows, total.seconds());
+
+  json.end_array();
+  json.kv("aggregate_hit_rate", aggregate);
+  json.kv("total_hits", total_hits);
+  json.kv("total_true", total_true);
+  json.kv("min_cell_hit_rate", min_hit_rate);
+  json.kv("parity_failures", parity_failures);
+  json.kv("rows", rows);
+  json.kv("total_seconds", total.seconds());
+  json.key("metrics");
+  registry.render_json_into(json);
+  json.end_object();
+  bench::write_bench_json("robustness", json);
 
   if (parity_failures > 0) {
     std::printf("FAIL: streaming detections diverged from offline locate\n");

@@ -8,11 +8,19 @@
 // the 4-worker row should show close to 4x the 1-worker throughput (the
 // per-job latency stays roughly flat until workers exceed cores).
 //
+// Every worker row runs its Engine against a fresh obs::Registry, and the
+// whole run is emitted as BENCH_service.json (see bench_common.hpp for the
+// layout contract): the row's latency summary comes from the per-job
+// submit_timed values, the embedded "metrics" object is the engine's own
+// telemetry snapshot — the two must tell the same story, which is how the
+// telemetry subsystem earns its numbers.
+//
 // SCALOCATE_SCALE scales the workload (0.25 = CI smoke run).
 #include <cstdio>
 
 #include "api/scalocate.hpp"
 #include "bench_common.hpp"
+#include "obs/registry.hpp"
 
 using namespace scalocate;
 
@@ -24,7 +32,8 @@ int main() {
   bench::Timer setup_timer;
   auto setup = bench::train_locator(crypto::CipherId::kAes128,
                                     trace::RandomDelayConfig::kRd2, 0xbe5eed);
-  std::printf("trained in %.1f s (test accuracy %.3f)\n", setup_timer.seconds(),
+  const double train_seconds = setup_timer.seconds();
+  std::printf("trained in %.1f s (test accuracy %.3f)\n", train_seconds,
               setup.report.test_confusion.accuracy());
 
   // Job pool: distinct eval traces so workers do not share cache lines.
@@ -43,11 +52,26 @@ int main() {
   for (const auto& t : traces)
     reference.push_back(setup.locator.locate(t.samples));
 
+  obs::JsonWriter json;
+  json.begin_object();
+  json.kv("bench", "service");
+  json.kv("scale", bench::scale());
+  json.kv("epochs", bench::bench_epochs());
+  json.kv("hardware_threads",
+          static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  json.kv("train_seconds", train_seconds);
+  json.kv("accuracy", setup.report.test_confusion.accuracy());
+  json.kv("jobs_per_row", n_jobs);
+  json.key("rows").begin_array();
+
   std::printf("\n%-8s %12s %10s %10s %10s %9s\n", "workers", "traces/s",
               "p50 ms", "p99 ms", "mean ms", "speedup");
   double baseline_tput = 0.0;
   for (std::size_t workers : {1u, 2u, 4u, 8u}) {
-    api::Engine engine({.workers = workers});
+    // Fresh registry per row: each engine's counters start at zero, so the
+    // embedded snapshot is exactly this row's story.
+    obs::Registry registry;
+    api::Engine engine({.workers = workers, .registry = &registry});
     engine.attach_model(setup.locator);
     auto session = engine.open_session();
     std::vector<std::future<api::Session::TimedResult>> futures;
@@ -77,7 +101,21 @@ int main() {
     if (mismatches > 0)
       std::printf("  [%zu MISMATCHED JOBS]", mismatches);
     std::printf("\n");
+
+    json.begin_object();
+    json.kv("workers", workers);
+    json.kv("wall_seconds", elapsed);
+    json.kv("mismatches", mismatches);
+    json.kv("p50_ms", s.p50_ms);
+    json.kv("p99_ms", s.p99_ms);
+    json.kv("mean_ms", s.mean_ms);
+    json.kv("max_ms", s.max_ms);
+    json.kv("traces_per_s", s.throughput_per_s);
+    json.key("metrics");
+    registry.render_json_into(json);
+    json.end_object();
   }
+  json.end_array();
 
   // Streaming overhead: one stream fed in 4096-sample chunks vs the
   // offline locate on the same trace.
@@ -86,7 +124,8 @@ int main() {
   const auto offline = setup.locator.locate(probe.samples);
   const double offline_s = offline_timer.seconds();
 
-  api::Engine stream_engine({.workers = 1});
+  obs::Registry stream_registry;
+  api::Engine stream_engine({.workers = 1, .registry = &stream_registry});
   stream_engine.attach_model(setup.locator);
   auto streaming = stream_engine.open_session().open_stream();
   bench::Timer stream_timer;
@@ -106,5 +145,19 @@ int main() {
       stream_s, offline_s, offline_s > 0 ? stream_s / offline_s : 0.0,
       streamed, offline.size(), streaming.resident_samples(),
       probe.samples.size());
+
+  json.key("streaming").begin_object();
+  json.kv("stream_seconds", stream_s);
+  json.kv("offline_seconds", offline_s);
+  json.kv("overhead_x", offline_s > 0 ? stream_s / offline_s : 0.0);
+  json.kv("detections", streamed);
+  json.kv("offline_detections", offline.size());
+  json.kv("resident_samples", streaming.resident_samples());
+  json.kv("trace_samples", probe.samples.size());
+  json.key("metrics");
+  stream_registry.render_json_into(json);
+  json.end_object();
+  json.end_object();
+  bench::write_bench_json("service", json);
   return 0;
 }

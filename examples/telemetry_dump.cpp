@@ -1,0 +1,124 @@
+// Telemetry tour: wires an obs::Registry through an Engine, serves a small
+// mixed workload (concurrent whole-trace jobs + a chunked stream), and
+// dumps what the instruments saw — first the human rendering, then the
+// machine JSON, then a span/trace-ring demo showing how nested timers
+// reconstruct a pipeline's call structure.
+//
+// This is the "getting started" companion of the README's Observability
+// section. Run it and read the output top to bottom:
+//
+//   $ ./telemetry_dump
+//
+// SCALOCATE_SCALE scales the training workload (0.25 = quick look);
+// SCALOCATE_EPOCHS overrides the training epochs.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "api/scalocate.hpp"
+#include "obs/registry.hpp"
+#include "trace/scenario.hpp"
+
+using namespace scalocate;
+
+namespace {
+
+std::size_t scaled(std::size_t base) {
+  double scale = 1.0;
+  if (const char* s = std::getenv("SCALOCATE_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) scale = v;
+  }
+  const auto v = static_cast<std::size_t>(static_cast<double>(base) * scale);
+  return v > 0 ? v : 1;
+}
+
+}  // namespace
+
+int main() {
+  // --- Train a small model (the workload everything below observes) ------
+  trace::ScenarioConfig sc;
+  sc.cipher = crypto::CipherId::kCamellia128;  // shortest CO: fast example
+  sc.random_delay = trace::RandomDelayConfig::kRd2;
+  sc.seed = 77;
+
+  crypto::Key16 key{};
+  key[0] = 0x2b;
+  std::printf("[1/4] training a %s locator (%zu captures)...\n",
+              crypto::cipher_display_name(sc.cipher).c_str(), scaled(224));
+  const auto captures = trace::acquire_cipher_traces(sc, scaled(224), key);
+  const auto noise = trace::acquire_noise_trace(sc, scaled(60000));
+
+  core::LocatorConfig lc;
+  lc.params = core::PipelineParams::defaults_for(sc.cipher);
+  lc.params.epochs = 6;
+  if (const char* e = std::getenv("SCALOCATE_EPOCHS")) {
+    const int v = std::atoi(e);
+    if (v > 0) lc.params.epochs = static_cast<std::size_t>(v);
+  }
+  lc.params.threshold = 0.0f;  // fixed boundary: stream == offline
+  core::CoLocator locator(lc);
+  locator.train(captures, noise);
+
+  // --- Serve through an instrumented Engine ------------------------------
+  // One registry observes everything this engine does. Every instrument is
+  // named <layer>.<model>.<metric>[_unit]; the engine registers
+  // engine.camellia.* for the request path and stream.camellia.* for
+  // streams opened from its sessions.
+  obs::Registry registry;
+  api::Engine engine({.workers = 2, .registry = &registry});
+  engine.attach_model(locator);
+  auto session = engine.open_session();
+
+  const auto eval = trace::acquire_eval_trace(sc, 8, key, false);
+  std::printf("[2/4] serving 6 whole-trace jobs + 1 chunked stream...\n");
+  std::vector<std::future<std::vector<std::size_t>>> jobs;
+  for (int i = 0; i < 6; ++i)
+    jobs.push_back(session.submit_view(eval.samples));
+  for (auto& j : jobs) j.get();
+
+  auto stream = session.open_stream();
+  const std::span<const float> samples(eval.samples);
+  std::size_t detections = 0;
+  for (std::size_t off = 0; off < samples.size(); off += 2048)
+    detections += stream
+                      .feed(samples.subspan(
+                          off, std::min<std::size_t>(2048,
+                                                     samples.size() - off)))
+                      .size();
+  detections += stream.finish().size();
+  std::printf("      %zu detections from the stream\n", detections);
+
+  // --- Dump the registry --------------------------------------------------
+  // render_text(): aligned columns for humans; time histograms print their
+  // quantiles in milliseconds.
+  std::printf("\n[3/4] registry snapshot (render_text):\n\n%s\n",
+              engine.telemetry_text().c_str());
+  // render_json(): the machine twin — same numbers, stable layout, the
+  // format the BENCH_*.json perf gates consume (see bench/thresholds/).
+  std::printf("[3/4] registry snapshot (render_json):\n\n%s\n\n",
+              engine.telemetry_json().c_str());
+
+  // --- Spans + trace ring -------------------------------------------------
+  // SpanTimer is the zero-ceremony way to time any scope into a histogram;
+  // with a TraceRing attached, completed spans also land in a bounded
+  // event buffer whose dump reconstructs the nesting.
+  std::printf("[4/4] span timers + trace ring:\n\n");
+  auto& span_hist = registry.histogram("example.pipeline.stage_ns");
+  auto& ring = registry.trace_ring("example.pipeline.trace", 64);
+  {
+    obs::SpanTimer whole(span_hist, &ring, "locate");
+    {
+      obs::SpanTimer stage(span_hist, &ring, "locate/score");
+      (void)locator.locate(eval.samples);
+    }
+    obs::SpanTimer emit(span_hist, &ring, "locate/emit");
+  }
+  for (const auto& ev : ring.dump())
+    std::printf("  %*s%-14s %8.3f ms\n", 2 * static_cast<int>(ev.depth), "",
+                ev.name.c_str(), static_cast<double>(ev.duration_ns) / 1e6);
+
+  std::printf("\ndone: p99 job latency %.1f ms\n",
+              session.metrics().latency_ns->snapshot().quantile(0.99) / 1e6);
+  return 0;
+}

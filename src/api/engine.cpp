@@ -1,5 +1,7 @@
 #include "api/engine.hpp"
 
+#include <cctype>
+
 #include "api/artifact.hpp"
 #include "common/error.hpp"
 
@@ -59,12 +61,27 @@ std::future<Session::TimedResult> Session::submit_timed(
 }
 
 Stream Session::open_stream(StreamingConfig config) const {
+  // Engine-level telemetry wiring, unless the caller routed the stream to a
+  // registry of their own.
+  if (!config.registry && entry_->registry) {
+    config.registry = entry_->registry;
+    config.metric_prefix = entry_->stream_prefix;
+  }
   return Stream(entry_, config);
 }
 
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
+
+std::string metric_model_name(crypto::CipherId cipher) {
+  std::string out;
+  for (const char c : crypto::cipher_display_name(cipher)) {
+    if (std::isalnum(static_cast<unsigned char>(c)))
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
 
 Engine::Engine(EngineConfig config)
     : config_(config), pool_(runtime::resolve_workers(config.workers)) {}
@@ -76,6 +93,7 @@ crypto::CipherId Engine::register_entry(
   scalocate::detail::require(entry->locator->is_trained(),
                   "Engine: model must be trained");
   const auto cipher = entry->locator->config().params.cipher;
+  if (entry->registry) entry->stream_prefix = "stream." + metric_model_name(cipher);
   // A replaced entry may hold the last reference to a service with jobs
   // still in flight; its drain() must run after the registry lock is
   // released, or a hot-swap would stall every other Engine operation.
@@ -89,25 +107,40 @@ crypto::CipherId Engine::register_entry(
   return cipher;
 }
 
+runtime::ServiceConfig Engine::service_config(crypto::CipherId cipher) const {
+  runtime::ServiceConfig cfg;
+  cfg.max_queue_depth = config_.max_queue_depth;
+  if (config_.registry) {
+    cfg.registry = config_.registry;
+    cfg.metric_prefix = "engine." + metric_model_name(cipher);
+  }
+  return cfg;
+}
+
 crypto::CipherId Engine::load_artifact(const std::string& path) {
-  runtime::ServiceConfig cfg{.workers = 0,
-                             .max_queue_depth = config_.max_queue_depth};
-  return register_entry(std::make_shared<detail::ModelEntry>(
-      api::load_artifact(path), pool_, cfg));
+  // Load first: the model's cipher id names its instruments.
+  return add_model(api::load_artifact(path));
 }
 
 crypto::CipherId Engine::add_model(core::CoLocator&& locator) {
-  runtime::ServiceConfig cfg{.workers = 0,
-                             .max_queue_depth = config_.max_queue_depth};
-  return register_entry(
-      std::make_shared<detail::ModelEntry>(std::move(locator), pool_, cfg));
+  const auto cipher = locator.config().params.cipher;
+  return register_entry(std::make_shared<detail::ModelEntry>(
+      std::move(locator), pool_, service_config(cipher)));
 }
 
 crypto::CipherId Engine::attach_model(const core::CoLocator& locator) {
-  runtime::ServiceConfig cfg{.workers = 0,
-                             .max_queue_depth = config_.max_queue_depth};
-  return register_entry(
-      std::make_shared<detail::ModelEntry>(locator, pool_, cfg));
+  const auto cipher = locator.config().params.cipher;
+  return register_entry(std::make_shared<detail::ModelEntry>(
+      locator, pool_, service_config(cipher)));
+}
+
+std::string Engine::telemetry_text() const {
+  return config_.registry ? config_.registry->render_text()
+                          : "(telemetry off: Engine built without a registry)\n";
+}
+
+std::string Engine::telemetry_json() const {
+  return config_.registry ? config_.registry->render_json() : "{}";
 }
 
 Session Engine::open_session(crypto::CipherId cipher) const {

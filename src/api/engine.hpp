@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/locator.hpp"
+#include "obs/registry.hpp"
 #include "runtime/locator_service.hpp"
 #include "runtime/streaming_locator.hpp"
 
@@ -45,7 +46,20 @@ struct EngineConfig {
   /// Per-model bound on in-flight whole-trace jobs; submit blocks at the
   /// bound (backpressure). 0 = unbounded.
   std::size_t max_queue_depth = 0;
+  /// Telemetry sink (must outlive the Engine). When set, every registered
+  /// model gets per-model instruments — `engine.<model>.requests`,
+  /// `.queue_depth`, `.queue_wait_ns`, `.latency_ns`, `.cancelled`,
+  /// `.backpressure_blocks` — and every stream opened through a Session
+  /// gets `stream.<model>.samples_fed` / `.windows_scored` / `.detections`
+  /// / `.emission_lag_samples`. Null = telemetry off (zero overhead and no
+  /// behavior change either way). Pass &obs::Registry::global() to publish
+  /// into the process-wide registry.
+  obs::Registry* registry = nullptr;
 };
+
+/// Instrument-name segment for a model: the cipher display name lowercased
+/// with non-alphanumerics dropped ("AES-128" -> "aes128").
+std::string metric_model_name(crypto::CipherId cipher);
 
 /// Registry row describing one served model.
 struct ModelInfo {
@@ -59,16 +73,23 @@ struct ModelInfo {
 namespace detail {
 /// One registered model: the locator (owned or borrowed) plus its executor
 /// over the engine's shared pool. Sessions share ownership of the entry.
+/// `registry`/`stream_prefix` carry the engine's telemetry wiring to
+/// streams opened later through a Session.
 struct ModelEntry {
   ModelEntry(core::CoLocator&& loc, runtime::ThreadPool& pool,
              runtime::ServiceConfig cfg)
-      : owned(std::move(loc)), locator(&*owned), service(*locator, pool, cfg) {}
+      : owned(std::move(loc)),
+        locator(&*owned),
+        registry(cfg.registry),
+        service(*locator, pool, std::move(cfg)) {}
   ModelEntry(const core::CoLocator& loc, runtime::ThreadPool& pool,
              runtime::ServiceConfig cfg)
-      : locator(&loc), service(loc, pool, cfg) {}
+      : locator(&loc), registry(cfg.registry), service(loc, pool, std::move(cfg)) {}
 
   std::optional<core::CoLocator> owned;
   const core::CoLocator* locator;
+  obs::Registry* registry = nullptr;  ///< null = telemetry off
+  std::string stream_prefix;          ///< e.g. "stream.aes128"
   runtime::LocatorService service;
 };
 }  // namespace detail
@@ -164,6 +185,12 @@ class Session {
     return entry_->locator->config().params.cipher;
   }
 
+  /// This model's serving instruments (all-null when the engine was built
+  /// without a telemetry registry).
+  const runtime::ServiceMetrics& metrics() const {
+    return entry_->service.metrics();
+  }
+
  private:
   friend class Engine;
   explicit Session(std::shared_ptr<detail::ModelEntry> entry)
@@ -205,8 +232,16 @@ class Engine {
   std::vector<ModelInfo> models() const;
   std::size_t worker_count() const { return pool_.worker_count(); }
 
+  /// The telemetry registry this engine publishes into (null = off).
+  obs::Registry* metrics_registry() const { return config_.registry; }
+  /// Convenience snapshots of that registry; empty-document/placeholder
+  /// output when telemetry is off.
+  std::string telemetry_text() const;
+  std::string telemetry_json() const;
+
  private:
   crypto::CipherId register_entry(std::shared_ptr<detail::ModelEntry> entry);
+  runtime::ServiceConfig service_config(crypto::CipherId cipher) const;
 
   EngineConfig config_;
   runtime::ThreadPool pool_;  ///< declared before the registry: entries

@@ -1,0 +1,66 @@
+// Lock-free scalar instruments: monotonic counters and up/down gauges.
+//
+// Both are single atomics updated with relaxed ordering — telemetry needs
+// cheap, contention-tolerant increments, not cross-metric consistency. A
+// snapshot taken while writers are active sees each instrument at *some*
+// recent value; once writers quiesce (e.g. after Engine::drain-on-destroy
+// or future.get()), reads are exact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace scalocate::obs {
+
+/// Monotonically increasing event count (requests served, FLOPs executed).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level that can move both ways (queue depth, resident
+/// bytes). Tracks the high-watermark alongside the current value, so a
+/// snapshot taken after the load subsided still shows how deep the queue
+/// got.
+class Gauge {
+ public:
+  void add(std::int64_t delta = 1) noexcept {
+    const std::int64_t now =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    if (delta > 0) raise_max(now);
+  }
+  void sub(std::int64_t delta = 1) noexcept { add(-delta); }
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+    raise_max(v);
+  }
+
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  std::int64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void raise_max(std::int64_t candidate) noexcept {
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !max_.compare_exchange_weak(seen, candidate,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+}  // namespace scalocate::obs

@@ -1,0 +1,132 @@
+#include "obs/registry.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace scalocate::obs {
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+template <typename T, typename... Args>
+T& Registry::find_or_create(
+    std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+    std::string_view name, Args&&... args) {
+  detail::require(!name.empty(), "Registry: instrument name must be non-empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  auto [inserted, ok] = map.emplace(
+      std::string(name), std::make_unique<T>(std::forward<Args>(args)...));
+  (void)ok;
+  return *inserted->second;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return find_or_create(counters_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return find_or_create(gauges_, name);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return find_or_create(histograms_, name);
+}
+
+TraceRing& Registry::trace_ring(std::string_view name, std::size_t capacity) {
+  return find_or_create(rings_, name, capacity);
+}
+
+std::string Registry::render_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  char line[256];
+  if (!counters_.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, c] : counters_) {
+      std::snprintf(line, sizeof(line), "  %-44s %14llu\n", name.c_str(),
+                    static_cast<unsigned long long>(c->value()));
+      out += line;
+    }
+  }
+  if (!gauges_.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, g] : gauges_) {
+      std::snprintf(line, sizeof(line), "  %-44s %14lld  (max %lld)\n",
+                    name.c_str(), static_cast<long long>(g->value()),
+                    static_cast<long long>(g->max()));
+      out += line;
+    }
+  }
+  if (!histograms_.empty()) {
+    std::snprintf(line, sizeof(line), "histograms:%35s %10s %10s %10s %10s\n",
+                  "count", "mean", "p50", "p99", "max");
+    out += line;
+    for (const auto& [name, h] : histograms_) {
+      const auto s = h->snapshot();
+      std::snprintf(line, sizeof(line),
+                    "  %-44s %10llu %10.3g %10.3g %10.3g %10.3g\n",
+                    name.c_str(), static_cast<unsigned long long>(s.count),
+                    s.mean(), s.quantile(0.50), s.quantile(0.99),
+                    static_cast<double>(s.max));
+      out += line;
+    }
+  }
+  if (!rings_.empty()) {
+    out += "trace rings:\n";
+    for (const auto& [name, r] : rings_) {
+      std::snprintf(line, sizeof(line),
+                    "  %-44s %14llu events (capacity %zu)\n", name.c_str(),
+                    static_cast<unsigned long long>(r->total_pushed()),
+                    r->capacity());
+      out += line;
+    }
+  }
+  if (out.empty()) out = "(no instruments registered)\n";
+  return out;
+}
+
+void Registry::render_json_into(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.kv(name, c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name).begin_object();
+    w.kv("value", static_cast<std::int64_t>(g->value()));
+    w.kv("max", static_cast<std::int64_t>(g->max()));
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    const auto s = h->snapshot();
+    w.key(name).begin_object();
+    w.kv("count", s.count);
+    w.kv("sum", s.sum);
+    w.kv("min", s.min);
+    w.kv("max", s.max);
+    w.kv("mean", s.mean());
+    w.kv("p50", s.quantile(0.50));
+    w.kv("p90", s.quantile(0.90));
+    w.kv("p99", s.quantile(0.99));
+    w.kv("p999", s.quantile(0.999));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string Registry::render_json() const {
+  JsonWriter w;
+  render_json_into(w);
+  return w.str();
+}
+
+}  // namespace scalocate::obs

@@ -1,0 +1,63 @@
+#include "obs/span.hpp"
+
+namespace scalocate::obs {
+
+namespace {
+/// Per-thread live-span count; SpanTimer construction order defines depth.
+thread_local std::uint32_t t_span_depth = 0;
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRing::push(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[head_] = std::move(event);
+  }
+  head_ = (head_ + 1) % capacity_;
+  ++pushed_;
+}
+
+std::vector<TraceEvent> TraceRing::dump() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out.assign(ring_.begin(), ring_.end());
+  } else {
+    // head_ is the oldest slot once the ring has wrapped.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pushed_;
+}
+
+SpanTimer::SpanTimer(Histogram& histogram, TraceRing* ring,
+                     std::string_view name)
+    : histogram_(histogram),
+      ring_(ring),
+      name_(name),
+      start_ns_(steady_now_ns()),
+      depth_(t_span_depth++) {}
+
+SpanTimer::~SpanTimer() {
+  const std::uint64_t duration = steady_now_ns() - start_ns_;
+  --t_span_depth;
+  histogram_.record(duration);
+  if (ring_)
+    ring_->push(TraceEvent{std::move(name_), start_ns_, duration, depth_});
+}
+
+}  // namespace scalocate::obs

@@ -4,6 +4,20 @@
 
 namespace scalocate::runtime {
 
+ServiceMetrics ServiceMetrics::resolve(obs::Registry& registry,
+                                       const std::string& prefix) {
+  const std::string p = prefix.empty() ? "service" : prefix;
+  ServiceMetrics m;
+  m.requests = &registry.counter(p + ".requests");
+  m.completed = &registry.counter(p + ".completed");
+  m.cancelled = &registry.counter(p + ".cancelled");
+  m.backpressure_blocks = &registry.counter(p + ".backpressure_blocks");
+  m.queue_depth = &registry.gauge(p + ".queue_depth");
+  m.queue_wait_ns = &registry.histogram(p + ".queue_wait_ns");
+  m.latency_ns = &registry.histogram(p + ".latency_ns");
+  return m;
+}
+
 /// Runs finish_job() however the job ends — result, locate exception, or
 /// cancellation — so jobs_completed() always converges to jobs_submitted()
 /// and the backpressure slot is always released.
@@ -21,6 +35,8 @@ LocatorService::LocatorService(const core::CoLocator& locator,
       max_depth_(config.max_queue_depth) {
   detail::require(locator_.is_trained(),
                   "LocatorService: locator must be trained");
+  if (config.registry)
+    metrics_ = ServiceMetrics::resolve(*config.registry, config.metric_prefix);
 }
 
 LocatorService::LocatorService(const core::CoLocator& locator, ThreadPool& pool,
@@ -31,6 +47,8 @@ LocatorService::LocatorService(const core::CoLocator& locator, ThreadPool& pool,
       max_depth_(config.max_queue_depth) {
   detail::require(locator_.is_trained(),
                   "LocatorService: locator must be trained");
+  if (config.registry)
+    metrics_ = ServiceMetrics::resolve(*config.registry, config.metric_prefix);
 }
 
 LocatorService::~LocatorService() { drain(); }
@@ -44,17 +62,29 @@ void LocatorService::drain() {
 }
 
 void LocatorService::acquire_slot() {
+  if (metrics_.enabled()) metrics_.requests->add();
   if (max_depth_ == 0) {
     ++submitted_;
+    if (metrics_.enabled()) metrics_.queue_depth->add();
     return;
   }
   std::unique_lock<std::mutex> lock(depth_mutex_);
+  if (in_flight_ >= max_depth_ && metrics_.enabled())
+    metrics_.backpressure_blocks->add();
   depth_cv_.wait(lock, [this] { return in_flight_ < max_depth_; });
   ++in_flight_;
   ++submitted_;
+  // Inside the lock so the gauge moves in lockstep with in_flight_: the
+  // queue-depth gauge counts ACCEPTED jobs (queued + running), not
+  // submitters still blocked on backpressure.
+  if (metrics_.enabled()) metrics_.queue_depth->add();
 }
 
 void LocatorService::finish_job() {
+  if (metrics_.enabled()) {
+    metrics_.completed->add();
+    metrics_.queue_depth->sub();
+  }
   // Notify while holding the lock: a drain()er woken by this completion may
   // destroy the service the moment it returns, so the notify must not touch
   // the condition variables after the counters became visible.
@@ -66,45 +96,61 @@ void LocatorService::finish_job() {
 }
 
 void LocatorService::check_cancel(const CancelFlag& cancel) {
-  if (cancel && cancel->load())
+  if (cancel && cancel->load()) {
+    if (metrics_.enabled()) metrics_.cancelled->add();
     throw Cancelled("locate job cancelled before it started");
+  }
 }
 
 std::future<std::vector<std::size_t>> LocatorService::submit(
     std::vector<float> trace, CancelFlag cancel) {
   acquire_slot();
+  const std::uint64_t enqueued = enqueue_stamp();
   auto owned = std::make_shared<std::vector<float>>(std::move(trace));
   return pool_->submit(
-      [this, owned, cancel](std::size_t worker) -> std::vector<std::size_t> {
+      [this, owned, cancel, enqueued](std::size_t worker)
+          -> std::vector<std::size_t> {
         CompletionGuard done{*this};
+        record_queue_wait(enqueued);
         check_cancel(cancel);
-        return locator_.locate(*owned, scratch_[worker]);
+        auto starts = locator_.locate(*owned, scratch_[worker]);
+        record_latency(enqueued);
+        return starts;
       });
 }
 
 std::future<std::vector<std::size_t>> LocatorService::submit_view(
     std::span<const float> trace, CancelFlag cancel) {
   acquire_slot();
+  const std::uint64_t enqueued = enqueue_stamp();
   return pool_->submit(
-      [this, trace, cancel](std::size_t worker) -> std::vector<std::size_t> {
+      [this, trace, cancel, enqueued](std::size_t worker)
+          -> std::vector<std::size_t> {
         CompletionGuard done{*this};
+        record_queue_wait(enqueued);
         check_cancel(cancel);
-        return locator_.locate(trace, scratch_[worker]);
+        auto starts = locator_.locate(trace, scratch_[worker]);
+        record_latency(enqueued);
+        return starts;
       });
 }
 
 std::future<LocatorService::TimedResult> LocatorService::submit_timed(
     std::span<const float> trace) {
   acquire_slot();
+  const std::uint64_t metrics_enqueued = enqueue_stamp();
   const auto enqueued = std::chrono::steady_clock::now();
-  return pool_->submit([this, trace, enqueued](std::size_t worker) {
+  return pool_->submit([this, trace, enqueued,
+                        metrics_enqueued](std::size_t worker) {
     CompletionGuard done{*this};
+    record_queue_wait(metrics_enqueued);
     TimedResult result;
     result.starts = locator_.locate(trace, scratch_[worker]);
     result.latency_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       enqueued)
             .count();
+    record_latency(metrics_enqueued);
     return result;
   });
 }

@@ -20,9 +20,11 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/locator.hpp"
+#include "obs/registry.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace scalocate::runtime {
@@ -35,6 +37,31 @@ struct ServiceConfig {
   /// submit() blocks until a slot frees (backpressure) instead of letting
   /// the queue grow unboundedly when workers are saturated. 0 = unbounded.
   std::size_t max_queue_depth = 0;
+  /// Telemetry sink. When set, the service registers per-service
+  /// instruments under `metric_prefix` and records request counts, queue
+  /// depth, queue-wait and end-to-end latency, cancellations and
+  /// backpressure blocks. Null = telemetry off, zero overhead. The
+  /// registry must outlive the service.
+  obs::Registry* registry = nullptr;
+  /// Instrument name prefix, e.g. "engine.aes128" (default "service").
+  std::string metric_prefix;
+};
+
+/// Resolved per-service instrument set (see README "Observability" for the
+/// naming scheme). All pointers are either all set or all null.
+struct ServiceMetrics {
+  obs::Counter* requests = nullptr;       ///< jobs accepted by submit*
+  obs::Counter* completed = nullptr;      ///< jobs finished (any outcome)
+  obs::Counter* cancelled = nullptr;      ///< jobs cancelled before running
+  obs::Counter* backpressure_blocks = nullptr;  ///< submits that had to wait
+  obs::Gauge* queue_depth = nullptr;      ///< in-flight jobs (queued+running)
+  obs::Histogram* queue_wait_ns = nullptr;  ///< enqueue -> job start
+  obs::Histogram* latency_ns = nullptr;     ///< enqueue -> job end (e2e)
+
+  bool enabled() const { return requests != nullptr; }
+  /// Registers the instrument set under `prefix` in `registry`.
+  static ServiceMetrics resolve(obs::Registry& registry,
+                                const std::string& prefix);
 };
 
 class LocatorService {
@@ -71,12 +98,18 @@ class LocatorService {
 
   /// Like submit_view, but also reports the job's end-to-end latency
   /// (enqueue to completion, queueing included) — the number a serving
-  /// deployment actually observes. Used by bench_service.
+  /// deployment actually observes. The measurement is the same one the
+  /// `latency_ns` histogram records when telemetry is on; this wrapper just
+  /// additionally hands the per-job value back through the future.
   struct TimedResult {
     std::vector<std::size_t> starts;
     double latency_seconds = 0.0;
   };
   std::future<TimedResult> submit_timed(std::span<const float> trace);
+
+  /// The service's instrument set (all-null when constructed without a
+  /// registry).
+  const ServiceMetrics& metrics() const { return metrics_; }
 
   /// Blocks until every job submitted to THIS service has completed (on a
   /// shared pool, other services' jobs are not waited for).
@@ -95,7 +128,20 @@ class LocatorService {
   /// finish_job() from the job's completion guard.
   void acquire_slot();
   void finish_job();
-  static void check_cancel(const CancelFlag& cancel);
+  void check_cancel(const CancelFlag& cancel);
+  /// Timestamp taken at submit when telemetry is on (0 otherwise); the job
+  /// body turns it into queue-wait and end-to-end latency samples.
+  std::uint64_t enqueue_stamp() const {
+    return metrics_.enabled() ? obs::steady_now_ns() : 0;
+  }
+  void record_queue_wait(std::uint64_t enqueued_ns) const {
+    if (enqueued_ns != 0)
+      metrics_.queue_wait_ns->record(obs::steady_now_ns() - enqueued_ns);
+  }
+  void record_latency(std::uint64_t enqueued_ns) const {
+    if (enqueued_ns != 0)
+      metrics_.latency_ns->record(obs::steady_now_ns() - enqueued_ns);
+  }
 
   const core::CoLocator& locator_;
   std::unique_ptr<ThreadPool> owned_pool_;  ///< null when pool is external
@@ -108,6 +154,7 @@ class LocatorService {
   std::size_t in_flight_ = 0;  ///< guarded by depth_mutex_ when bounded
   std::atomic<std::size_t> submitted_{0};
   std::atomic<std::size_t> completed_{0};
+  ServiceMetrics metrics_;  ///< all-null when telemetry is off
 };
 
 }  // namespace scalocate::runtime

@@ -21,6 +21,17 @@ const core::CoLocator& require_trained(const core::CoLocator& locator) {
 
 }  // namespace
 
+StreamMetrics StreamMetrics::resolve(obs::Registry& registry,
+                                     const std::string& prefix) {
+  const std::string p = prefix.empty() ? "stream" : prefix;
+  StreamMetrics m;
+  m.samples_fed = &registry.counter(p + ".samples_fed");
+  m.windows_scored = &registry.counter(p + ".windows_scored");
+  m.detections = &registry.counter(p + ".detections");
+  m.emission_lag_samples = &registry.histogram(p + ".emission_lag_samples");
+  return m;
+}
+
 StreamingLocator::StreamingLocator(const core::CoLocator& locator,
                                    StreamingConfig config)
     : locator_(require_trained(locator)),
@@ -58,6 +69,9 @@ StreamingLocator::StreamingLocator(const core::CoLocator& locator,
                           locator.config().min_separation_fraction *
                           locator.mean_co_length())
                     : 0;
+
+  if (config.registry)
+    metrics_ = StreamMetrics::resolve(*config.registry, config.metric_prefix);
 }
 
 void StreamingLocator::reset() {
@@ -77,6 +91,7 @@ void StreamingLocator::reset() {
 std::vector<Detection> StreamingLocator::feed(std::span<const float> chunk) {
   detail::require(!finished_,
                   "StreamingLocator::feed after finish (reset() first)");
+  if (metrics_.enabled()) metrics_.samples_fed->add(chunk.size());
   ring_.append(chunk);
   std::vector<Detection> out;
   pump(/*eof=*/false, out);
@@ -122,6 +137,7 @@ void StreamingLocator::score_ready_windows() {
     for (std::size_t i = 0; i < count; ++i)
       square_.push_back(scores_buf_[i] >= threshold_ ? 1.0f : -1.0f);
     next_window_ += count;
+    if (metrics_.enabled()) metrics_.windows_scored->add(count);
   }
 }
 
@@ -259,6 +275,13 @@ void StreamingLocator::release_pending(bool eof, std::vector<Detection>& out) {
         p.final_start >= *last_kept_ + min_gap_) {
       out.push_back(Detection{p.final_start, p.raw_edge});
       last_kept_ = p.final_start;
+      if (metrics_.enabled()) {
+        metrics_.detections->add();
+        // Emission lag: how far the stream head ran ahead before this
+        // detection could be finalized.
+        metrics_.emission_lag_samples->record(
+            ring_.size() > p.final_start ? ring_.size() - p.final_start : 0);
+      }
     }
     ++released;
   }

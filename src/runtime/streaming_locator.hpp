@@ -27,9 +27,11 @@
 #include <deque>
 #include <limits>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/locator.hpp"
+#include "obs/registry.hpp"
 #include "runtime/ring_buffer.hpp"
 
 namespace scalocate::runtime {
@@ -46,6 +48,30 @@ struct StreamingConfig {
   /// Decision threshold override. NaN = inherit: the locator's configured
   /// threshold when fixed, otherwise its calibration-trace Otsu threshold.
   float threshold = std::numeric_limits<float>::quiet_NaN();
+  /// Telemetry sink. When set, the stream counts samples fed, windows
+  /// scored and detections emitted, and records per-detection emission lag
+  /// (stream head minus detection start, in samples) under `metric_prefix`.
+  /// Pure observation: detections stay bit-identical to the offline path.
+  /// Null = telemetry off. The registry must outlive the stream.
+  obs::Registry* registry = nullptr;
+  /// Instrument name prefix, e.g. "stream.aes128" (default "stream").
+  std::string metric_prefix;
+};
+
+/// Resolved per-stream instrument set. Streams sharing a prefix (e.g. every
+/// stream of one model) aggregate into the same instruments.
+struct StreamMetrics {
+  obs::Counter* samples_fed = nullptr;
+  obs::Counter* windows_scored = nullptr;
+  obs::Counter* detections = nullptr;
+  /// Samples between the stream head and the detection start at the moment
+  /// the detection became final — the online-emission price (median
+  /// half-width + refinement radius, see the class comment).
+  obs::Histogram* emission_lag_samples = nullptr;
+
+  bool enabled() const { return samples_fed != nullptr; }
+  static StreamMetrics resolve(obs::Registry& registry,
+                               const std::string& prefix);
 };
 
 class StreamingLocator {
@@ -132,6 +158,8 @@ class StreamingLocator {
   std::vector<float> scores_buf_;
   std::vector<float> median_scratch_;
   std::vector<float> neighborhood_;
+
+  StreamMetrics metrics_;  ///< all-null when telemetry is off
 };
 
 }  // namespace scalocate::runtime

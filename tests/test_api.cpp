@@ -447,5 +447,100 @@ TEST_F(ApiFacade, CancelAfterCompletionIsNoOp) {
   EXPECT_EQ(starts, *offline_);
 }
 
+// ---------------------------------------------------------------------------
+// Engine telemetry (obs wiring)
+// ---------------------------------------------------------------------------
+
+TEST_F(ApiFacade, EngineMetricsAccountForEveryJob) {
+  obs::Registry registry;
+  api::Engine engine({.workers = 2, .registry = &registry});
+  engine.attach_model(*locator_);
+  auto session = engine.open_session();
+  ASSERT_TRUE(session.metrics().enabled());
+
+  constexpr std::size_t kJobs = 10;
+  std::vector<std::future<std::vector<std::size_t>>> futures;
+  futures.reserve(kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i)
+    futures.push_back(session.submit_view(eval_->samples));
+  for (auto& f : futures) EXPECT_EQ(f.get(), *offline_);
+
+  // Writers have quiesced (every future resolved), so the counters are
+  // exact: one request = one completion = one latency + one queue-wait
+  // sample, nothing cancelled, nothing still in flight.
+  const auto& m = session.metrics();
+  EXPECT_EQ(m.requests->value(), kJobs);
+  EXPECT_EQ(m.completed->value(), kJobs);
+  EXPECT_EQ(m.cancelled->value(), 0u);
+  EXPECT_EQ(m.queue_depth->value(), 0);
+  EXPECT_GE(m.queue_depth->max(), 1);
+  EXPECT_LE(m.queue_depth->max(), static_cast<std::int64_t>(kJobs));
+  EXPECT_EQ(m.latency_ns->count(), kJobs);
+  EXPECT_EQ(m.queue_wait_ns->count(), kJobs);
+  // End-to-end latency includes the queue wait, so the slowest job's
+  // latency can never undercut its own wait.
+  const auto lat = m.latency_ns->snapshot();
+  const auto wait = m.queue_wait_ns->snapshot();
+  EXPECT_GE(lat.max, wait.min);
+
+  // The rendered snapshot tells the same story through the JSON spine.
+  const auto doc = obs::JsonValue::parse(engine.telemetry_json());
+  const auto* completed =
+      doc.at_path("counters.engine.camellia.completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_EQ(completed->integer, kJobs);
+  EXPECT_DOUBLE_EQ(
+      doc.at_path("histograms.engine.camellia.latency_ns.count")->number,
+      static_cast<double>(kJobs));
+  // And the human rendering mentions the instrument.
+  EXPECT_NE(engine.telemetry_text().find("engine.camellia.latency_ns"),
+            std::string::npos);
+}
+
+TEST_F(ApiFacade, TelemetryIsObservablyFreeOfBehaviorChange) {
+  // The same workload through an instrumented and an uninstrumented engine
+  // must produce bit-identical detections — telemetry never perturbs the
+  // pipeline. (The uninstrumented engine reports metrics as disabled.)
+  obs::Registry registry;
+  api::Engine instrumented({.workers = 2, .registry = &registry});
+  api::Engine plain({.workers = 2});
+  instrumented.attach_model(*locator_);
+  plain.attach_model(*locator_);
+  auto with = instrumented.open_session();
+  auto without = plain.open_session();
+  EXPECT_FALSE(without.metrics().enabled());
+
+  EXPECT_EQ(with.submit_view(eval_->samples).get(),
+            without.submit_view(eval_->samples).get());
+  EXPECT_EQ(stream_starts(with, eval_->samples, 3000),
+            stream_starts(without, eval_->samples, 3000));
+  EXPECT_EQ(plain.telemetry_json(), "{}");
+}
+
+TEST_F(ApiFacade, StreamMetricsCountSamplesWindowsAndDetections) {
+  obs::Registry registry;
+  api::Engine engine({.workers = 1, .registry = &registry});
+  engine.attach_model(*locator_);
+  auto session = engine.open_session();
+
+  const auto streamed = stream_starts(session, eval_->samples, 2048);
+  EXPECT_EQ(streamed, *offline_);
+
+  const auto doc = obs::JsonValue::parse(engine.telemetry_json());
+  const auto* fed =
+      doc.at_path("counters.stream.camellia.samples_fed");
+  ASSERT_NE(fed, nullptr) << "open_stream must inherit the engine registry";
+  EXPECT_EQ(fed->integer, eval_->samples.size());
+  EXPECT_EQ(doc.at_path("counters.stream.camellia.detections")->integer,
+            streamed.size());
+  EXPECT_GE(doc.at_path("counters.stream.camellia.windows_scored")->integer,
+            1u);
+  // Every emitted detection logged its emission lag.
+  EXPECT_EQ(
+      doc.at_path("histograms.stream.camellia.emission_lag_samples.count")
+          ->integer,
+      streamed.size());
+}
+
 }  // namespace
 }  // namespace scalocate

@@ -23,11 +23,17 @@
 //   max        value <= max
 //   ref + tol  |value - ref| <= tol * ref  (relative tolerance band; with
 //              ref == 0 the band degenerates to |value| <= tol)
+//   min_items  path resolves to an array with >= min_items entries
 //
 // A missing snapshot, unparseable JSON, missing path, or non-numeric value
 // is a violation, not a skip: thresholds reference what the benches promise
-// to emit, and silent skips would let the contract rot. Exit status is the
-// number of violations (capped at 125), each listed on stderr.
+// to emit, and silent skips would let the contract rot. Independently of
+// the checks file, any snapshot whose top-level "cases" is an empty array
+// is rejected outright — a bench that ran zero cases produced a vacuous
+// snapshot (a filter mismatch or silent crash), and every per-case
+// threshold against it would "pass" by reporting the path missing in a
+// single, easily-ignored line. Exit status is the number of violations
+// (capped at 125), each listed on stderr.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -99,6 +105,11 @@ int main(int argc, char** argv) {
         throw std::runtime_error("no top-level \"bench\" string");
       std::printf("loaded %s (bench \"%s\")\n", argv[i],
                   bench->string.c_str());
+      // Vacuous-snapshot guard: "cases": [] means the bench ran nothing.
+      const JsonValue* cases = snap.find("cases");
+      if (cases && cases->is_array() && cases->array.empty())
+        violate(std::string(argv[i]) + " (bench \"" + bench->string +
+                "\"): \"cases\" is empty — the bench ran zero cases");
       snapshots.emplace_back(bench->string, std::move(snap));
     } catch (const std::exception& e) {
       violate(std::string(argv[i]) + ": " + e.what());
@@ -128,6 +139,31 @@ int main(int argc, char** argv) {
       violate(where + ": path missing from snapshot");
       continue;
     }
+
+    // min_items is a structural constraint (array length), checked before
+    // the numeric ones; a check may carry it alone.
+    double min_items = 0;
+    const bool has_min_items = get_number(check, "min_items", &min_items);
+    if (has_min_items) {
+      if (!node->is_array()) {
+        violate(where + ": min_items check but value is not an array");
+        continue;
+      }
+      if (static_cast<double>(node->array.size()) < min_items) {
+        violate(where + ": array has " + std::to_string(node->array.size()) +
+                " items < min_items " +
+                std::to_string(static_cast<std::size_t>(min_items)));
+        continue;
+      }
+      double ignored;
+      if (!get_number(check, "min", &ignored) &&
+          !get_number(check, "max", &ignored) &&
+          !get_number(check, "ref", &ignored)) {
+        ++passed;
+        continue;
+      }
+    }
+
     if (!node->is_number()) {
       violate(where + ": value is not numeric");
       continue;

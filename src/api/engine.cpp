@@ -110,6 +110,7 @@ crypto::CipherId Engine::register_entry(
 runtime::ServiceConfig Engine::service_config(crypto::CipherId cipher) const {
   runtime::ServiceConfig cfg;
   cfg.max_queue_depth = config_.max_queue_depth;
+  cfg.intra_op_threads = config_.intra_op_threads;
   if (config_.registry) {
     cfg.registry = config_.registry;
     cfg.metric_prefix = "engine." + metric_model_name(cipher);

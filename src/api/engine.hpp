@@ -46,6 +46,14 @@ struct EngineConfig {
   /// Per-model bound on in-flight whole-trace jobs; submit blocks at the
   /// bound (backpressure). 0 = unbounded.
   std::size_t max_queue_depth = 0;
+  /// Intra-op kernel threads per job (nn/kernels/parallel.hpp): how far
+  /// one job's GEMM/conv calls may fan out across the process compute
+  /// pool. Default 1 = throughput mode (many concurrent jobs, one core
+  /// each — the `workers` knob is the parallelism). Set >1 (or 0 for the
+  /// process default / SCALOCATE_THREADS) for latency mode: few big
+  /// traces, each saturating the machine. Detections are bit-identical
+  /// at every setting, so the trade is purely throughput vs latency.
+  std::size_t intra_op_threads = 1;
   /// Telemetry sink (must outlive the Engine). When set, every registered
   /// model gets per-model instruments — `engine.<model>.requests`,
   /// `.queue_depth`, `.queue_wait_ns`, `.latency_ns`, `.cancelled`,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nn/kernels/gemm_blocked.hpp"
+#include "nn/kernels/parallel.hpp"
 
 #if defined(SCALOCATE_PROFILE)
 #include <map>
@@ -61,6 +62,7 @@ float* grow_zeroed(std::vector<float>& buf, std::size_t count) {
   return buf.data();
 }
 
+
 #if defined(SCALOCATE_GEMM_AVX2)
 // Defined in gemm_avx2.cpp (compiled with -mavx2 -mfma).
 void sgemm_avx2(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
@@ -81,6 +83,90 @@ bool cpu_has_avx2_fma() {
 #endif
 
 }  // namespace detail
+
+GemmScratch& GemmScratch::lane(std::size_t index) {
+  if (index == 0) return *this;
+  while (extra_lanes_.size() < index)
+    extra_lanes_.push_back(std::make_unique<GemmScratch>());
+  return *extra_lanes_[index - 1];
+}
+
+namespace {
+
+// ISA dispatch for one single-threaded kernel invocation (the threaded
+// drivers call this once per chunk; every chunk runs the same kernel).
+void sgemm_st(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+              std::size_t k, float alpha, const float* a, std::size_t lda,
+              const float* b, std::size_t ldb, float beta, float* c,
+              std::size_t ldc, GemmScratch& scratch) {
+#if defined(SCALOCATE_GEMM_AVX2)
+  if (detail::cpu_has_avx2_fma()) {
+    detail::sgemm_avx2(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta,
+                       c, ldc, scratch);
+    return;
+  }
+#endif
+  detail::sgemm_blocked<4, 8>(trans_a, trans_b, m, n, k, alpha, a, lda, b,
+                              ldb, beta, c, ldc, scratch);
+}
+
+void sgemm_conv_st(std::size_t cout, std::size_t out_len, std::size_t batch,
+                   const float* w, const float* bias, const float* x,
+                   std::size_t cin, std::size_t n, std::size_t kernel,
+                   std::size_t stride, std::size_t pad_left, float* out,
+                   GemmScratch& scratch) {
+#if defined(SCALOCATE_GEMM_AVX2)
+  if (detail::cpu_has_avx2_fma()) {
+    detail::sgemm_conv_avx2(cout, out_len, batch, w, bias, x, cin, n, kernel,
+                            stride, pad_left, out, scratch);
+    return;
+  }
+#endif
+  detail::sgemm_conv_blocked<4, 8>(cout, out_len, batch, w, bias, x, cin, n,
+                                   kernel, stride, pad_left, out, scratch);
+}
+
+// Chunks for statically partitioning `extent` units of one macro-loop:
+// bounded by the caller's thread budget and by a minimum chunk width (so
+// a split never degenerates into per-strip task traffic). Deterministic —
+// a pure function of (extent, budget) — and results do not depend on it.
+std::size_t chunks_for(std::size_t extent, std::size_t min_per_chunk,
+                       std::size_t budget) {
+  const std::size_t by_extent = extent / min_per_chunk;
+  return std::max<std::size_t>(
+      1, std::min(budget, std::max<std::size_t>(by_extent, 1)));
+}
+
+/// Balanced static split: chunk `i` of `chunks` over `extent` units gets
+/// [begin, begin + len). The first `extent % chunks` chunks get one extra.
+struct ChunkRange {
+  std::size_t begin, len;
+};
+ChunkRange chunk_range(std::size_t extent, std::size_t chunks, std::size_t i) {
+  const std::size_t q = extent / chunks;
+  const std::size_t r = extent % chunks;
+  const std::size_t begin = i * q + std::min(i, r);
+  return {begin, q + (i < r ? 1 : 0)};
+}
+
+// Threading floor on the partitioned dimension: at least two NR strips of
+// the wide tile per chunk, so the per-chunk pack/write-back epilogue stays
+// amortized. Any width would be bit-correct; this is purely a perf floor.
+constexpr std::size_t kMinColsPerChunk = 32;
+constexpr std::size_t kMinRowsPerChunk = 32;
+// Output channels per conv chunk: one MRC register block of conv_direct.
+constexpr std::size_t kMinCoutPerChunk = 4;
+
+/// Grows the scratch lanes OUTSIDE the parallel region (lane() mutates a
+/// vector and must not race), then runs fn(chunk, lane) over the pool.
+template <class Fn>
+void parallel_chunks(std::size_t chunks, GemmScratch& scratch, const Fn& fn) {
+  for (std::size_t c = 1; c < chunks; ++c) scratch.lane(c);
+  parallel_for(chunks,
+               [&](std::size_t c) { fn(c, scratch.lane(c)); });
+}
+
+}  // namespace
 
 void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
            std::size_t k, float alpha, const float* a, std::size_t lda,
@@ -105,15 +191,35 @@ void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
   flops.add(2ull * m * n * k);
   obs::SpanTimer span(shape_histogram("gemm", m, n, k));
 #endif
-#if defined(SCALOCATE_GEMM_AVX2)
-  if (detail::cpu_has_avx2_fma()) {
-    detail::sgemm_avx2(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta,
-                       c, ldc, scratch);
-    return;
+  const std::size_t budget = intra_op_threads();
+  if (budget > 1 && !in_parallel_region() &&
+      2ull * m * n * k >= parallel_min_flops()) {
+    // Column partition first (disjoint C column bands; every worker reads
+    // all of A). Tall-and-narrow problems — the dX products of the conv
+    // backward are [Cin*K, out_len] — split rows instead.
+    std::size_t chunks = chunks_for(n, kMinColsPerChunk, budget);
+    if (chunks > 1) {
+      parallel_chunks(chunks, scratch, [&](std::size_t ci, GemmScratch& ls) {
+        const auto [j0, len] = chunk_range(n, chunks, ci);
+        const float* b_sub = trans_b ? b + j0 * ldb : b + j0;
+        sgemm_st(trans_a, trans_b, m, len, k, alpha, a, lda, b_sub, ldb, beta,
+                 c + j0, ldc, ls);
+      });
+      return;
+    }
+    chunks = chunks_for(m, kMinRowsPerChunk, budget);
+    if (chunks > 1) {
+      parallel_chunks(chunks, scratch, [&](std::size_t ci, GemmScratch& ls) {
+        const auto [i0, len] = chunk_range(m, chunks, ci);
+        const float* a_sub = trans_a ? a + i0 : a + i0 * lda;
+        sgemm_st(trans_a, trans_b, len, n, k, alpha, a_sub, lda, b, ldb, beta,
+                 c + i0 * ldc, ldc, ls);
+      });
+      return;
+    }
   }
-#endif
-  detail::sgemm_blocked<4, 8>(trans_a, trans_b, m, n, k, alpha, a, lda, b,
-                              ldb, beta, c, ldc, scratch);
+  sgemm_st(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+           scratch);
 }
 
 void sgemm_conv(std::size_t cout, std::size_t out_len, std::size_t batch,
@@ -129,15 +235,38 @@ void sgemm_conv(std::size_t cout, std::size_t out_len, std::size_t batch,
   flops.add(2ull * batch * cout * out_len * cin * kernel);
   obs::SpanTimer span(shape_histogram("conv", cout, out_len, cin * kernel));
 #endif
-#if defined(SCALOCATE_GEMM_AVX2)
-  if (detail::cpu_has_avx2_fma()) {
-    detail::sgemm_conv_avx2(cout, out_len, batch, w, bias, x, cin, n, kernel,
-                            stride, pad_left, out, scratch);
-    return;
+  const std::size_t budget = intra_op_threads();
+  if (budget > 1 && !in_parallel_region() &&
+      2ull * batch * cout * out_len * cin * kernel >= parallel_min_flops()) {
+    // Batch items are fully independent outputs: the natural partition for
+    // minibatch training and batched window scoring.
+    if (batch > 1) {
+      const std::size_t chunks = std::min(budget, batch);
+      parallel_chunks(chunks, scratch, [&](std::size_t ci, GemmScratch& ls) {
+        const auto [b0, len] = chunk_range(batch, chunks, ci);
+        sgemm_conv_st(cout, out_len, len, w, bias, x + b0 * cin * n, cin, n,
+                      kernel, stride, pad_left, out + b0 * cout * out_len,
+                      ls);
+      });
+      return;
+    }
+    // Single item (streaming single-window scoring): split the output
+    // channels — each chunk owns a [c0, c0+len) slab of the output and its
+    // matching weight rows; the per-channel tap accumulation order is
+    // untouched, so this too is bit-identical.
+    const std::size_t chunks = chunks_for(cout, kMinCoutPerChunk, budget);
+    if (chunks > 1) {
+      parallel_chunks(chunks, scratch, [&](std::size_t ci, GemmScratch& ls) {
+        const auto [c0, len] = chunk_range(cout, chunks, ci);
+        sgemm_conv_st(len, out_len, batch, w + c0 * cin * kernel,
+                      bias != nullptr ? bias + c0 : nullptr, x, cin, n,
+                      kernel, stride, pad_left, out + c0 * out_len, ls);
+      });
+      return;
+    }
   }
-#endif
-  detail::sgemm_conv_blocked<4, 8>(cout, out_len, batch, w, bias, x, cin, n,
-                                   kernel, stride, pad_left, out, scratch);
+  sgemm_conv_st(cout, out_len, batch, w, bias, x, cin, n, kernel, stride,
+                pad_left, out, scratch);
 }
 
 void sgemm_naive(bool trans_a, bool trans_b, std::size_t m, std::size_t n,

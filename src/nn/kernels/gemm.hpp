@@ -12,12 +12,23 @@
 // double-precision accumulation, kept (and unit-tested against) so the
 // blocked path always has an obviously-correct oracle.
 //
+// Intra-op threading (see parallel.hpp): when the calling thread's
+// intra-op budget allows and the problem is big enough, sgemm/sgemm_conv
+// statically partition the N (or, for tall problems, M) macro-loop — and
+// batched convolutions their batch/out-channel loops — across the
+// process-wide compute pool. Each chunk writes a disjoint C tile and the
+// per-element summation order is unchanged, so the threaded results are
+// bit-identical to the single-threaded kernels at every thread count.
+//
 // Thread-safety: sgemm is pure compute over caller-provided buffers; the
 // pack buffers live in a caller-owned GemmScratch (one per nn::Workspace,
-// hence one per concurrent inference caller).
+// hence one per concurrent inference caller). The threaded driver packs
+// into per-chunk lanes of the same scratch, so concurrent callers still
+// never share buffers.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 namespace scalocate::nn::kernels {
@@ -27,6 +38,30 @@ namespace scalocate::nn::kernels {
 struct GemmScratch {
   std::vector<float> pack_a;  ///< MC x KC block of A, MR-row panels
   std::vector<float> pack_b;  ///< KC x NC block of B, NR-column panels
+
+  GemmScratch() = default;
+  // Copying a workspace must not duplicate the per-chunk lanes: they are
+  // transient scratch regrown on demand, so a copy starts with none.
+  GemmScratch(const GemmScratch& other)
+      : pack_a(other.pack_a), pack_b(other.pack_b) {}
+  GemmScratch& operator=(const GemmScratch& other) {
+    pack_a = other.pack_a;
+    pack_b = other.pack_b;
+    extra_lanes_.clear();
+    return *this;
+  }
+  GemmScratch(GemmScratch&&) = default;
+  GemmScratch& operator=(GemmScratch&&) = default;
+
+  /// Per-chunk scratch for the threaded driver: lane(0) is this object
+  /// itself; higher lanes are grown on demand and reused across calls, so
+  /// a warmed-up workspace allocates nothing on the hot path. Callers
+  /// must not invoke lane() concurrently (the driver grows the lanes
+  /// before fanning out and only reads them inside the parallel region).
+  GemmScratch& lane(std::size_t index);
+
+ private:
+  std::vector<std::unique_ptr<GemmScratch>> extra_lanes_;
 };
 
 /// C = alpha * op(A) * op(B) + beta * C, row-major with leading

@@ -1,6 +1,7 @@
 #include "runtime/locator_service.hpp"
 
 #include "common/error.hpp"
+#include "nn/kernels/parallel.hpp"
 
 namespace scalocate::runtime {
 
@@ -32,7 +33,8 @@ LocatorService::LocatorService(const core::CoLocator& locator,
       owned_pool_(std::make_unique<ThreadPool>(resolve_workers(config.workers))),
       pool_(owned_pool_.get()),
       scratch_(pool_->worker_count()),
-      max_depth_(config.max_queue_depth) {
+      max_depth_(config.max_queue_depth),
+      intra_op_threads_(config.intra_op_threads) {
   detail::require(locator_.is_trained(),
                   "LocatorService: locator must be trained");
   if (config.registry)
@@ -44,7 +46,8 @@ LocatorService::LocatorService(const core::CoLocator& locator, ThreadPool& pool,
     : locator_(locator),
       pool_(&pool),
       scratch_(pool.worker_count()),
-      max_depth_(config.max_queue_depth) {
+      max_depth_(config.max_queue_depth),
+      intra_op_threads_(config.intra_op_threads) {
   detail::require(locator_.is_trained(),
                   "LocatorService: locator must be trained");
   if (config.registry)
@@ -113,6 +116,9 @@ std::future<std::vector<std::size_t>> LocatorService::submit(
         CompletionGuard done{*this};
         record_queue_wait(enqueued);
         check_cancel(cancel);
+        // Pin this job's kernel fan-out to the configured budget (1 keeps
+        // the legacy one-core-per-job behavior; 0 = process default).
+        nn::kernels::IntraOpGuard intra(intra_op_threads_);
         auto starts = locator_.locate(*owned, scratch_[worker]);
         record_latency(enqueued);
         return starts;
@@ -129,6 +135,7 @@ std::future<std::vector<std::size_t>> LocatorService::submit_view(
         CompletionGuard done{*this};
         record_queue_wait(enqueued);
         check_cancel(cancel);
+        nn::kernels::IntraOpGuard intra(intra_op_threads_);
         auto starts = locator_.locate(trace, scratch_[worker]);
         record_latency(enqueued);
         return starts;
@@ -144,6 +151,7 @@ std::future<LocatorService::TimedResult> LocatorService::submit_timed(
                         metrics_enqueued](std::size_t worker) {
     CompletionGuard done{*this};
     record_queue_wait(metrics_enqueued);
+    nn::kernels::IntraOpGuard intra(intra_op_threads_);
     TimedResult result;
     result.starts = locator_.locate(trace, scratch_[worker]);
     result.latency_seconds =

@@ -37,6 +37,15 @@ struct ServiceConfig {
   /// submit() blocks until a slot frees (backpressure) instead of letting
   /// the queue grow unboundedly when workers are saturated. 0 = unbounded.
   std::size_t max_queue_depth = 0;
+  /// Intra-op thread budget for the kernels inside each job (see
+  /// nn/kernels/parallel.hpp): how many compute-pool threads ONE job's
+  /// GEMM/conv calls may fan out across. Default 1 — a service saturated
+  /// with many small jobs already uses every core via `workers`, and
+  /// nested fan-out would oversubscribe the box. Raise it (or set 0 =
+  /// process default / SCALOCATE_THREADS) when the workload is a few big
+  /// traces and per-job latency matters more than aggregate throughput.
+  /// Results are bit-identical at every setting.
+  std::size_t intra_op_threads = 1;
   /// Telemetry sink. When set, the service registers per-service
   /// instruments under `metric_prefix` and records request counts, queue
   /// depth, queue-wait and end-to-end latency, cancellations and
@@ -117,6 +126,7 @@ class LocatorService {
 
   std::size_t worker_count() const { return pool_->worker_count(); }
   std::size_t max_queue_depth() const { return max_depth_; }
+  std::size_t intra_op_threads() const { return intra_op_threads_; }
   std::size_t jobs_completed() const { return completed_.load(); }
   std::size_t jobs_submitted() const { return submitted_.load(); }
 
@@ -148,6 +158,7 @@ class LocatorService {
   ThreadPool* pool_;
   std::vector<nn::Workspace> scratch_;  ///< one per worker, index-addressed
   std::size_t max_depth_ = 0;
+  std::size_t intra_op_threads_ = 1;  ///< kernel fan-out budget per job
   std::mutex depth_mutex_;
   std::condition_variable depth_cv_;    ///< a backpressure slot freed
   std::condition_variable drained_cv_;  ///< a job completed (drain watches)

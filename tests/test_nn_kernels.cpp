@@ -4,7 +4,9 @@
 // new backend (Conv1d/Linear/MaxPool1d).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -15,6 +17,7 @@
 #include "nn/init.hpp"
 #include "nn/kernels/gemm.hpp"
 #include "nn/kernels/pack.hpp"
+#include "nn/kernels/parallel.hpp"
 #include "nn/kernels/pointwise.hpp"
 #include "nn/kernels/reference.hpp"
 #include "nn/linear.hpp"
@@ -281,6 +284,184 @@ TEST(KernelGradcheck, LinearThroughGemmBackend) {
   Rng rng(47);
   he_normal_init(lin.weight().value, rng);
   EXPECT_TRUE(check_layer_gradients(lin, random_tensor({3, 9}, 53)).passed);
+}
+
+// ---------------------------------------------------------------------------
+// Intra-op threading: bit-identical to the single-threaded kernels
+// ---------------------------------------------------------------------------
+// The threaded drivers only repartition the macro-loops; the per-element
+// summation order is untouched, so these compare BITWISE (not within a
+// tolerance). ParallelGrainGuard(1) forces even these small shapes through
+// the parallel path; on a single-core machine the chunks still execute
+// (oversubscribed), so the coverage does not depend on the host's cores.
+
+void expect_bit_equal(std::span<const float> a, std::span<const float> b,
+                      const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(a[i]),
+              std::bit_cast<std::uint32_t>(b[i]))
+        << what << " at index " << i << ": " << a[i] << " vs " << b[i];
+}
+
+TEST(GemmThreaded, BitIdenticalAcrossThreadCounts) {
+  kernels::ParallelGrainGuard grain(1);
+  struct Shape {
+    std::size_t m, n, k;
+  };
+  // Wide shapes take the column partition, the tall one the row partition
+  // (n = 8 < kMinColsPerChunk); the last is ragged in every dimension and
+  // spans multiple cache blocks.
+  for (const auto& p :
+       {Shape{5, 301, 40}, Shape{301, 8, 40}, Shape{130, 97, 129}}) {
+    std::uint64_t seed = 900;
+    for (bool ta : {false, true}) {
+      for (bool tb : {false, true}) {
+        const auto a = random_vec(p.m * p.k, seed++);
+        const auto b = random_vec(p.k * p.n, seed++);
+        const std::size_t lda = ta ? p.m : p.k;
+        const std::size_t ldb = tb ? p.k : p.n;
+        for (float alpha : {1.0f, -0.5f}) {
+          for (float beta : {0.0f, 0.25f}) {
+            const auto c0 = random_vec(p.m * p.n, seed);
+            auto c_ref = c0;
+            {
+              kernels::IntraOpGuard intra(1);
+              kernels::GemmScratch scratch;
+              kernels::sgemm(ta, tb, p.m, p.n, p.k, alpha, a.data(), lda,
+                             b.data(), ldb, beta, c_ref.data(), p.n, scratch);
+            }
+            for (std::size_t threads : {2u, 3u, 8u}) {
+              kernels::IntraOpGuard intra(threads);
+              kernels::GemmScratch scratch;
+              auto c_thr = c0;
+              kernels::sgemm(ta, tb, p.m, p.n, p.k, alpha, a.data(), lda,
+                             b.data(), ldb, beta, c_thr.data(), p.n, scratch);
+              expect_bit_equal(c_thr, c_ref, "threaded gemm");
+            }
+            ++seed;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmThreaded, ConvBitIdenticalAcrossThreadCounts) {
+  kernels::ParallelGrainGuard grain(1);
+  struct Shape {
+    std::size_t batch, cin, cout, k, stride, pad, n;
+  };
+  // batch > 1 exercises the batch partition (including a ragged 5-way
+  // split), batch == 1 the out-channel partition; stride 2 covers the
+  // strided packing path.
+  for (const auto& p :
+       {Shape{5, 3, 8, 7, 1, 3, 40}, Shape{1, 4, 32, 5, 1, 2, 33},
+        Shape{3, 2, 12, 6, 2, 2, 37}, Shape{8, 1, 16, 64, 1, 31, 192}}) {
+    const std::size_t out_len =
+        kernels::conv_output_length(p.n, p.k, p.stride, p.pad, p.pad);
+    const auto w = random_vec(p.cout * p.cin * p.k, 501);
+    const auto bias = random_vec(p.cout, 503);
+    const auto x = random_vec(p.batch * p.cin * p.n, 505);
+    std::vector<float> out_ref(p.batch * p.cout * out_len);
+    {
+      kernels::IntraOpGuard intra(1);
+      kernels::GemmScratch scratch;
+      kernels::sgemm_conv(p.cout, out_len, p.batch, w.data(), bias.data(),
+                          x.data(), p.cin, p.n, p.k, p.stride, p.pad,
+                          out_ref.data(), scratch);
+    }
+    for (std::size_t threads : {2u, 3u, 8u}) {
+      kernels::IntraOpGuard intra(threads);
+      kernels::GemmScratch scratch;
+      std::vector<float> out(p.batch * p.cout * out_len,
+                             std::numeric_limits<float>::quiet_NaN());
+      kernels::sgemm_conv(p.cout, out_len, p.batch, w.data(), bias.data(),
+                          x.data(), p.cin, p.n, p.k, p.stride, p.pad,
+                          out.data(), scratch);
+      expect_bit_equal(out, out_ref, "threaded conv");
+    }
+  }
+}
+
+TEST(GemmThreaded, GradcheckThroughThreadedBackward) {
+  kernels::ParallelGrainGuard grain(1);
+  kernels::IntraOpGuard intra(4);
+  // out_len 70 >= 2 * kMinColsPerChunk, so the backward dX/dW products
+  // actually split under the 4-thread budget.
+  Conv1d conv(2, 3, 5, 1, -1);
+  Rng rng(41);
+  he_normal_init(conv.weight().value, rng);
+  // FD step larger again than the 4e-3 of the unthreaded gradchecks: the
+  // longer out_len (70 vs 14) deepens the reductions, pushing the noise
+  // floor of near-zero gradient entries above the smaller steps.
+  const auto result = check_layer_gradients(
+      conv, random_tensor({2, 2, 70}, 43), /*epsilon=*/1.6e-2);
+  EXPECT_TRUE(result.passed) << "abs=" << result.max_abs_error
+                             << " rel=" << result.max_rel_error;
+
+  // in = 70 so the backward dX (m=batch, n=70) and dW (m=6, n=70)
+  // products split as well.
+  Linear lin(70, 6);
+  Rng rng_lin(47);
+  he_normal_init(lin.weight().value, rng_lin);
+  const auto lin_result = check_layer_gradients(
+      lin, random_tensor({3, 70}, 53), /*epsilon=*/4e-3);
+  EXPECT_TRUE(lin_result.passed) << "abs=" << lin_result.max_abs_error
+                                 << " rel=" << lin_result.max_rel_error;
+}
+
+/// Runs a few SGD steps on a Conv1d+Linear stack under the given intra-op
+/// budget and returns all trained parameters plus the final forward
+/// output (the "detections" of this toy model).
+std::vector<float> train_tiny_stack(std::size_t threads) {
+  kernels::ParallelGrainGuard grain(1);
+  kernels::IntraOpGuard intra(threads);
+  const std::size_t batch = 6, cin = 2, cout = 4, n = 20, classes = 3;
+  Conv1d conv(cin, cout, 5, 1, -1);
+  const std::size_t out_len = conv.output_length(n);
+  Linear lin(cout * out_len, classes);
+  Rng rng(71);
+  he_normal_init(conv.weight().value, rng);
+  he_normal_init(lin.weight().value, rng);
+  conv.set_training(true);
+  lin.set_training(true);
+  Workspace ws_conv, ws_lin;
+  const auto x = random_tensor({batch, cin, n}, 73);
+  Param* params[] = {&conv.weight(), &conv.bias(), &lin.weight(),
+                     &lin.bias()};
+  for (int step = 0; step < 4; ++step) {
+    Tensor y = conv.forward(x, ws_conv);
+    y.reshape({batch, cout * out_len});
+    const Tensor z = lin.forward(y, ws_lin);
+    for (Param* p : params) p->zero_grad();
+    Tensor gy = lin.backward(z, ws_lin);  // dL/dz = z for L = 0.5*|z|^2
+    gy.reshape({batch, cout, out_len});
+    conv.backward(gy, ws_conv);
+    for (Param* p : params) {
+      auto vals = p->value.flat();
+      const auto grads = p->grad.flat();
+      for (std::size_t i = 0; i < vals.size(); ++i)
+        vals[i] -= 0.01f * grads[i];
+    }
+  }
+  Tensor y = conv.forward(x, ws_conv);
+  y.reshape({batch, cout * out_len});
+  const Tensor z = lin.forward(y, ws_lin);
+  std::vector<float> result;
+  for (const Param* p : params)
+    result.insert(result.end(), p->value.flat().begin(),
+                  p->value.flat().end());
+  result.insert(result.end(), z.flat().begin(), z.flat().end());
+  return result;
+}
+
+TEST(GemmThreaded, TrainingBitParityAcrossThreadBudgets) {
+  // Whole training runs — every weight after 4 SGD steps AND the final
+  // model output — must be bit-identical whatever the kernel fan-out.
+  const auto ref = train_tiny_stack(1);
+  expect_bit_equal(train_tiny_stack(2), ref, "trained params+output, t=2");
+  expect_bit_equal(train_tiny_stack(8), ref, "trained params+output, t=8");
 }
 
 // ---------------------------------------------------------------------------

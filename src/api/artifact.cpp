@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/io.hpp"
 #include "nn/serialize.hpp"
+#include "runtime/fault_injector.hpp"
 
 namespace scalocate::api {
 
@@ -184,6 +185,12 @@ core::CoLocator load_artifact(const std::string& path) {
   if (!file) throw ArtifactError("cannot open artifact: " + path);
   std::string bytes((std::istreambuf_iterator<char>(file)),
                     std::istreambuf_iterator<char>());
+
+  // Chaos hook: an armed "artifact.read" site drops the tail of the bytes
+  // HERE, before any field is parsed — what reading a file mid-write looks
+  // like. The structural checks below must turn it into a typed
+  // ArtifactTruncated, never a crash or a silently short model.
+  runtime::FaultInjector::instance().truncate("artifact.read", bytes);
 
   // Structural checks on the raw bytes before any field is trusted: magic,
   // then completeness (the end marker only exists in a fully written file),

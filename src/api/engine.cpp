@@ -40,24 +40,25 @@ std::vector<Detection> Stream::deliver() {
 // Session
 // ---------------------------------------------------------------------------
 
-std::future<std::vector<std::size_t>> Session::submit(std::vector<float> trace) {
-  return entry_->service.submit(std::move(trace));
+std::future<std::vector<std::size_t>> Session::submit(std::vector<float> trace,
+                                                      SubmitOptions options) {
+  return entry_->service.submit(std::move(trace), nullptr, options);
 }
 
 std::future<std::vector<std::size_t>> Session::submit_view(
-    std::span<const float> trace) {
-  return entry_->service.submit_view(trace);
+    std::span<const float> trace, SubmitOptions options) {
+  return entry_->service.submit_view(trace, nullptr, options);
 }
 
-Job Session::submit_job(std::vector<float> trace) {
+Job Session::submit_job(std::vector<float> trace, SubmitOptions options) {
   auto flag = std::make_shared<std::atomic<bool>>(false);
-  auto future = entry_->service.submit(std::move(trace), flag);
+  auto future = entry_->service.submit(std::move(trace), flag, options);
   return Job(std::move(flag), std::move(future));
 }
 
 std::future<Session::TimedResult> Session::submit_timed(
-    std::span<const float> trace) {
-  return entry_->service.submit_timed(trace);
+    std::span<const float> trace, SubmitOptions options) {
+  return entry_->service.submit_timed(trace, options);
 }
 
 Stream Session::open_stream(StreamingConfig config) const {
@@ -110,6 +111,10 @@ crypto::CipherId Engine::register_entry(
 runtime::ServiceConfig Engine::service_config(crypto::CipherId cipher) const {
   runtime::ServiceConfig cfg;
   cfg.max_queue_depth = config_.max_queue_depth;
+  cfg.admission = config_.admission;
+  cfg.max_concurrency = config_.max_concurrency;
+  cfg.watchdog_p99_multiple = config_.watchdog_p99_multiple;
+  cfg.watchdog_min_samples = config_.watchdog_min_samples;
   cfg.intra_op_threads = config_.intra_op_threads;
   if (config_.registry) {
     cfg.registry = config_.registry;

@@ -37,15 +37,33 @@
 
 namespace scalocate::api {
 
+using runtime::AdmissionPolicy;
 using runtime::Detection;
 using runtime::StreamingConfig;
+using runtime::SubmitOptions;
 
 struct EngineConfig {
   /// Worker threads of the shared pool. 0 = hardware concurrency.
   std::size_t workers = 0;
-  /// Per-model bound on in-flight whole-trace jobs; submit blocks at the
-  /// bound (backpressure). 0 = unbounded.
+  /// Per-model bound on in-flight whole-trace jobs. What happens at the
+  /// bound is `admission`'s call (default: submit blocks — backpressure).
+  /// 0 = unbounded.
   std::size_t max_queue_depth = 0;
+  /// Behavior at max_queue_depth, applied per model: kBlock (default,
+  /// today's behavior), kRejectWhenFull (submit throws Overloaded), or
+  /// kShedByDeadline (evict the queued job least likely to meet its
+  /// deadline). See runtime::AdmissionPolicy and README "Failure model".
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Per-model cap on jobs RUNNING in the shared pool at once. 0 = the
+  /// pool's worker count. Set below `workers` so one hot cipher cannot
+  /// starve every other registered model of workers.
+  std::size_t max_concurrency = 0;
+  /// Watchdog: flag (never kill) a running job once its wall clock exceeds
+  /// this multiple of its model's rolling p99 runtime — the
+  /// `watchdog_trips` counter distinguishes "stuck" from "slow". 0 = off.
+  double watchdog_p99_multiple = 0.0;
+  /// Completed jobs required before the watchdog trusts the p99 baseline.
+  std::size_t watchdog_min_samples = 32;
   /// Intra-op kernel threads per job (nn/kernels/parallel.hpp): how far
   /// one job's GEMM/conv calls may fan out across the process compute
   /// pool. Default 1 = throughput mode (many concurrent jobs, one core
@@ -170,20 +188,25 @@ class Stream {
 /// Handle to one served model; cheap to copy, safe to share across threads.
 class Session {
  public:
-  /// Whole-trace job; the trace is moved in. Blocks while the model is at
-  /// max_queue_depth (backpressure).
-  std::future<std::vector<std::size_t>> submit(std::vector<float> trace);
+  /// Whole-trace job; the trace is moved in. At max_queue_depth the
+  /// engine's AdmissionPolicy decides (default: block — backpressure).
+  /// `options` carries the per-job failure-model knobs: a deadline or
+  /// timeout after which the job fails with DeadlineExceeded instead of
+  /// occupying a worker (see runtime::SubmitOptions).
+  std::future<std::vector<std::size_t>> submit(std::vector<float> trace,
+                                               SubmitOptions options = {});
 
   /// Whole-trace job over caller-owned samples (kept alive by the caller
   /// until the future resolves).
   std::future<std::vector<std::size_t>> submit_view(
-      std::span<const float> trace);
+      std::span<const float> trace, SubmitOptions options = {});
 
   /// Whole-trace job with a cancellation handle.
-  Job submit_job(std::vector<float> trace);
+  Job submit_job(std::vector<float> trace, SubmitOptions options = {});
 
   using TimedResult = runtime::LocatorService::TimedResult;
-  std::future<TimedResult> submit_timed(std::span<const float> trace);
+  std::future<TimedResult> submit_timed(std::span<const float> trace,
+                                        SubmitOptions options = {});
 
   /// Opens a push-based stream over this session's model.
   Stream open_stream(StreamingConfig config = {}) const;
@@ -198,6 +221,13 @@ class Session {
   const runtime::ServiceMetrics& metrics() const {
     return entry_->service.metrics();
   }
+
+  /// Blocks until every job submitted to this session's model so far has
+  /// fully settled. A resolved future only proves the job's RESULT is
+  /// ready; the service's accounting (completed count, queue_depth back to
+  /// zero) lands moments later on the worker thread — call this before
+  /// reading metrics() or a registry snapshot that must reconcile exactly.
+  void drain() { entry_->service.drain(); }
 
  private:
   friend class Engine;

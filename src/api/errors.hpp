@@ -1,15 +1,42 @@
 // Structured error types of the public scalocate::api surface.
 //
-// Artifact loading never crashes or returns silent garbage: every failure
-// mode surfaces as a distinct subtype so deployments can branch on the kind
+// Nothing here crashes or returns silent garbage: every failure mode
+// surfaces as a distinct subtype so deployments can branch on the kind
 // (retry a truncated download, reject a foreign file, re-export after a
-// format bump, rebuild after an architecture drift) while `catch
-// (const scalocate::Error&)` still covers everything at one boundary.
+// format bump, rebuild after an architecture drift, back off when shed)
+// while `catch (const scalocate::Error&)` still covers everything at one
+// boundary.
+//
+// Error taxonomy (see README "Failure model & degradation" for the full
+// table). The retryability contract is the Transient mixin, tested with
+// scalocate::is_transient(e) — api::with_retry retries exactly these:
+//
+//   transient (retryable)     Overloaded, DeadlineExceeded,
+//                             runtime::InjectedFault, ArtifactTruncated
+//   terminal (never retried)  Cancelled, CorruptSignal, InvalidArgument,
+//                             ArtifactBadMagic, ArtifactVersionMismatch,
+//                             ArtifactArchMismatch,
+//                             ArtifactChecksumMismatch, IoError,
+//                             ShapeError
+//
+// The serving-plane types (Overloaded, DeadlineExceeded, Cancelled,
+// CorruptSignal) are defined in common/error.hpp because the runtime layer
+// throws them; they are re-exported here so `api::` users see one complete
+// error surface.
 #pragma once
 
 #include "common/error.hpp"
 
 namespace scalocate::api {
+
+// Serving-plane errors, re-exported from scalocate:: (common/error.hpp).
+using scalocate::Cancelled;          ///< caller abandoned the job; terminal
+using scalocate::CorruptSignal;      ///< NaN/Inf input samples; terminal
+using scalocate::DeadlineExceeded;   ///< deadline/timeout passed; transient
+using scalocate::Error;              ///< catch-all base
+using scalocate::is_transient;       ///< the one retryability test
+using scalocate::Overloaded;         ///< admission rejected/shed; transient
+using scalocate::Transient;          ///< retryable-marker mixin
 
 /// Base of every artifact load/save failure.
 class ArtifactError : public Error {
@@ -18,7 +45,11 @@ class ArtifactError : public Error {
 };
 
 /// The file ended (or the stream failed) before the bundle was complete.
-class ArtifactTruncated : public ArtifactError {
+/// Transient: the canonical cause is reading an artifact mid-download or
+/// mid-write — a retry after the writer finishes succeeds. (If the file is
+/// durably truncated the retry fails the same way, which is what
+/// with_retry's bounded attempts are for.)
+class ArtifactTruncated : public ArtifactError, public Transient {
  public:
   explicit ArtifactTruncated(const std::string& what) : ArtifactError(what) {}
 };

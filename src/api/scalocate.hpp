@@ -20,3 +20,4 @@
 #include "api/artifact.hpp"
 #include "api/engine.hpp"
 #include "api/errors.hpp"
+#include "api/retry.hpp"

@@ -33,11 +33,52 @@ class ShapeError : public Error {
   explicit ShapeError(const std::string& what) : Error(what) {}
 };
 
+/// Marker mixin for errors a caller may meaningfully retry: the failure was
+/// a property of the moment (overload, a missed deadline, an injected
+/// worker blip), not of the request. api::with_retry retries exactly the
+/// errors that carry this mixin; everything else propagates immediately.
+/// Deliberately not derived from Error so it composes with any subtype.
+class Transient {
+ public:
+  virtual ~Transient() = default;
+};
+
+/// True when `e` carries the Transient mixin (the one retryability test
+/// used across the library; see README "Failure model & degradation").
+inline bool is_transient(const std::exception& e) {
+  return dynamic_cast<const Transient*>(&e) != nullptr;
+}
+
 /// A submitted job was cancelled before it ran; surfaces through the job's
-/// future (runtime/locator_service, api::Job).
+/// future (runtime/locator_service, api::Job). Never transient: the caller
+/// asked for the abandonment, retrying would resurrect it.
 class Cancelled : public Error {
  public:
   explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
+/// The service refused or shed a job because it was at capacity
+/// (AdmissionPolicy::kRejectWhenFull / kShedByDeadline). Transient by
+/// definition — back off and retry.
+class Overloaded : public Error, public Transient {
+ public:
+  explicit Overloaded(const std::string& what) : Error(what) {}
+};
+
+/// The job's deadline (SubmitOptions::deadline / timeout) passed before a
+/// result could be produced; expired-in-queue jobs are rejected cheaply,
+/// before they waste a worker. Transient: a retry re-arms the deadline.
+class DeadlineExceeded : public Error, public Transient {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
+/// Input samples were not finite (NaN/Inf) — a poisoned capture would
+/// otherwise propagate through standardization into every score.
+/// Not transient: resubmitting the same bytes cannot help.
+class CorruptSignal : public Error {
+ public:
+  explicit CorruptSignal(const std::string& what) : Error(what) {}
 };
 
 namespace detail {

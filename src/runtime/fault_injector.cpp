@@ -1,0 +1,96 @@
+#include "runtime/fault_injector.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string_view>
+#include <thread>
+
+namespace scalocate::runtime {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& site, FaultSpec spec) {
+  detail::require(spec.poison_stride >= 1,
+                  "FaultInjector::arm: poison_stride must be >= 1");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = sites_.insert_or_assign(site, SiteState{spec, 0, 0});
+  (void)it;
+  if (inserted) armed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sites_.erase(site) > 0) armed_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.fetch_sub(static_cast<int>(sites_.size()),
+                   std::memory_order_relaxed);
+  sites_.clear();
+}
+
+std::uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  return it != sites_.end() ? it->second.hits : 0;
+}
+
+std::uint64_t FaultInjector::injected(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  return it != sites_.end() ? it->second.injected : 0;
+}
+
+bool FaultInjector::should_fire(const char* site, FaultSpec::Action action,
+                                FaultSpec* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(std::string_view(site));
+  if (it == sites_.end()) return false;
+  SiteState& state = it->second;
+  if (state.spec.action != action) return false;
+  const std::uint64_t hit = ++state.hits;
+  if (hit <= state.spec.skip || hit > state.spec.skip + state.spec.times)
+    return false;
+  ++state.injected;
+  *out = state.spec;
+  return true;
+}
+
+void FaultInjector::check(const char* site) {
+  if (!armed()) return;
+  FaultSpec spec;
+  if (should_fire(site, FaultSpec::Action::kStall, &spec)) {
+    // Sleep outside the lock: a stalled worker must not wedge the injector.
+    std::this_thread::sleep_for(spec.stall);
+    return;
+  }
+  if (should_fire(site, FaultSpec::Action::kThrow, &spec))
+    throw InjectedFault(std::string("injected fault at ") + site);
+}
+
+bool FaultInjector::poison(const char* site, std::span<const float> in,
+                           std::vector<float>& scratch) {
+  if (!armed()) return false;
+  FaultSpec spec;
+  if (!should_fire(site, FaultSpec::Action::kPoison, &spec)) return false;
+  scratch.assign(in.begin(), in.end());
+  for (std::size_t i = 0; i < scratch.size(); i += spec.poison_stride)
+    scratch[i] = std::numeric_limits<float>::quiet_NaN();
+  return true;
+}
+
+bool FaultInjector::truncate(const char* site, std::string& bytes) {
+  if (!armed()) return false;
+  FaultSpec spec;
+  if (!should_fire(site, FaultSpec::Action::kTruncate, &spec)) return false;
+  const auto keep = static_cast<std::size_t>(
+      static_cast<double>(bytes.size()) * spec.truncate_fraction);
+  bytes.resize(keep < bytes.size() ? keep : bytes.size());
+  return true;
+}
+
+}  // namespace scalocate::runtime

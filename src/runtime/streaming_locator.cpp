@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/signal.hpp"
+#include "runtime/fault_injector.hpp"
 
 namespace scalocate::runtime {
 
@@ -28,6 +29,7 @@ StreamMetrics StreamMetrics::resolve(obs::Registry& registry,
   m.samples_fed = &registry.counter(p + ".samples_fed");
   m.windows_scored = &registry.counter(p + ".windows_scored");
   m.detections = &registry.counter(p + ".detections");
+  m.corrupt_samples = &registry.counter(p + ".corrupt_samples");
   m.emission_lag_samples = &registry.histogram(p + ".emission_lag_samples");
   return m;
 }
@@ -41,6 +43,7 @@ StreamingLocator::StreamingLocator(const core::CoLocator& locator,
   window_ = params.n_inf;
   stride_ = params.stride;
   batch_size_ = config.batch_size;
+  nan_policy_ = config.nan_policy;
 
   float th = config.threshold;
   if (std::isnan(th)) th = params.threshold;
@@ -86,13 +89,41 @@ void StreamingLocator::reset() {
   pending_.clear();
   last_kept_.reset();
   finished_ = false;
+  corrupt_samples_ = 0;
 }
 
 std::vector<Detection> StreamingLocator::feed(std::span<const float> chunk) {
   detail::require(!finished_,
                   "StreamingLocator::feed after finish (reset() first)");
-  if (metrics_.enabled()) metrics_.samples_fed->add(chunk.size());
-  ring_.append(chunk);
+  // Chaos hook: an armed "stream.feed" site NaN-poisons the chunk HERE,
+  // upstream of validation — the injected corruption must be caught by the
+  // same scan that catches a real dying probe.
+  std::span<const float> data = chunk;
+  if (FaultInjector::instance().poison("stream.feed", chunk, sanitize_buf_))
+    data = sanitize_buf_;
+
+  std::size_t bad = 0;
+  for (const float sample : data)
+    if (!std::isfinite(sample)) ++bad;
+  if (bad > 0) {
+    corrupt_samples_ += bad;
+    if (metrics_.enabled()) metrics_.corrupt_samples->add(bad);
+    if (nan_policy_ == StreamingConfig::NanPolicy::kReject)
+      // Stream state untouched: the bad chunk is simply not part of the
+      // stream, so the caller can keep feeding clean chunks and parity
+      // with offline locate over the accepted samples holds.
+      throw CorruptSignal("StreamingLocator::feed: chunk contains " +
+                          std::to_string(bad) +
+                          " non-finite sample(s); nan_policy is kReject");
+    if (data.data() != sanitize_buf_.data())
+      sanitize_buf_.assign(data.begin(), data.end());
+    for (float& sample : sanitize_buf_)
+      if (!std::isfinite(sample)) sample = 0.0f;
+    data = sanitize_buf_;
+  }
+
+  if (metrics_.enabled()) metrics_.samples_fed->add(data.size());
+  ring_.append(data);
   std::vector<Detection> out;
   pump(/*eof=*/false, out);
   return out;

@@ -43,6 +43,23 @@ struct Detection {
 };
 
 struct StreamingConfig {
+  /// What feed() does with a chunk containing non-finite samples (NaN/Inf
+  /// — a dying probe, a truncated capture, an injected poison). Either
+  /// way the corruption is counted (StreamMetrics::corrupt_samples,
+  /// StreamingLocator::corrupt_samples()) and never reaches the model:
+  /// unchecked, one NaN propagates through window standardization into
+  /// every score of every window containing it.
+  enum class NanPolicy {
+    /// Throw CorruptSignal and leave the stream untouched: the bad chunk
+    /// is not appended, and the caller may keep feeding clean chunks —
+    /// detections then match the offline locate over the samples actually
+    /// accepted. The default: corruption is loud.
+    kReject,
+    /// Replace each non-finite sample with 0.0f and continue. Detections
+    /// match the offline locate over the sanitized stream.
+    kSanitize,
+  };
+  NanPolicy nan_policy = NanPolicy::kReject;
   /// Windows scored per CNN forward pass.
   std::size_t batch_size = 64;
   /// Decision threshold override. NaN = inherit: the locator's configured
@@ -64,6 +81,10 @@ struct StreamMetrics {
   obs::Counter* samples_fed = nullptr;
   obs::Counter* windows_scored = nullptr;
   obs::Counter* detections = nullptr;
+  /// Non-finite samples seen at feed() boundaries (rejected or sanitized
+  /// per StreamingConfig::nan_policy; either way they never reach the
+  /// model).
+  obs::Counter* corrupt_samples = nullptr;
   /// Samples between the stream head and the detection start at the moment
   /// the detection became final — the online-emission price (median
   /// half-width + refinement radius, see the class comment).
@@ -84,6 +105,9 @@ class StreamingLocator {
                             StreamingConfig config = {});
 
   /// Pushes a chunk of samples; returns every detection that became final.
+  /// A chunk with non-finite samples is handled per
+  /// StreamingConfig::nan_policy: rejected with CorruptSignal (stream
+  /// state untouched — keep feeding clean chunks) or sanitized to 0.0f.
   std::vector<Detection> feed(std::span<const float> chunk);
 
   /// Marks end-of-stream and flushes the remaining detections. feed() is
@@ -104,6 +128,9 @@ class StreamingLocator {
   float threshold() const { return threshold_; }
   std::size_t median_k() const { return median_k_; }
   bool finished() const { return finished_; }
+  /// Non-finite samples seen at feed() boundaries on this stream
+  /// (maintained with or without telemetry). reset() clears it.
+  std::size_t corrupt_samples() const { return corrupt_samples_; }
 
  private:
   struct Pending {
@@ -128,6 +155,7 @@ class StreamingLocator {
   std::size_t window_ = 0;
   std::size_t stride_ = 1;
   std::size_t batch_size_ = 64;
+  StreamingConfig::NanPolicy nan_policy_ = StreamingConfig::NanPolicy::kReject;
   float threshold_ = 0.0f;
   std::size_t median_k_ = 3;
   std::size_t half_ = 1;  ///< median_k_ / 2
@@ -152,12 +180,14 @@ class StreamingLocator {
   std::vector<Pending> pending_;       ///< refined, sorted by final_start
   std::optional<std::size_t> last_kept_;  ///< dedup state
   bool finished_ = false;
+  std::size_t corrupt_samples_ = 0;  ///< non-finite samples seen at feed()
 
   // Reused scratch. (Window staging lives in ws_.staging(): windows are
   // standardized from the ring directly into the batch tensor.)
   std::vector<float> scores_buf_;
   std::vector<float> median_scratch_;
   std::vector<float> neighborhood_;
+  std::vector<float> sanitize_buf_;  ///< feed() NaN-scrub / poison scratch
 
   StreamMetrics metrics_;  ///< all-null when telemetry is off
 };

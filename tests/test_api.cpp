@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -417,6 +418,9 @@ TEST_F(ApiFacade, SubmitBlocksAtMaxQueueDepth) {
   }
   producer.join();
   for (auto& f : futures) EXPECT_EQ(f.get(), *offline_);
+  // Futures resolve before the worker-side accounting lands; drain() waits
+  // for the books before the exact counter check.
+  service.drain();
   EXPECT_EQ(service.jobs_completed(), kJobs);
   // The bound was actually exercised (the single worker saturated).
   EXPECT_GE(max_in_flight, kDepth - 1);
@@ -465,9 +469,11 @@ TEST_F(ApiFacade, EngineMetricsAccountForEveryJob) {
     futures.push_back(session.submit_view(eval_->samples));
   for (auto& f : futures) EXPECT_EQ(f.get(), *offline_);
 
-  // Writers have quiesced (every future resolved), so the counters are
+  // A resolved future proves the result, not the bookkeeping — drain()
+  // waits for the worker-side accounting. After it the counters are
   // exact: one request = one completion = one latency + one queue-wait
   // sample, nothing cancelled, nothing still in flight.
+  session.drain();
   const auto& m = session.metrics();
   EXPECT_EQ(m.requests->value(), kJobs);
   EXPECT_EQ(m.completed->value(), kJobs);
@@ -540,6 +546,91 @@ TEST_F(ApiFacade, StreamMetricsCountSamplesWindowsAndDetections) {
       doc.at_path("histograms.stream.camellia.emission_lag_samples.count")
           ->integer,
       streamed.size());
+}
+
+// ---------------------------------------------------------------------------
+// Hot swap vs in-flight sessions
+// ---------------------------------------------------------------------------
+
+TEST_F(ApiFacade, ConcurrentHotSwapNeverDisturbsInFlightSessions) {
+  // The hot-swap contract: a Session opened before load_artifact replaces
+  // its model keeps the OLD model alive (shared ownership of the entry) and
+  // keeps serving bit-identical results; only sessions opened after the
+  // swap see the new entry. This hammers that contract concurrently — a
+  // swapper thread re-loading the artifact in a loop while submitter
+  // threads run jobs through sessions opened before, during, and after
+  // swaps. Also part of the TSan CI job's test set, so the shared_ptr
+  // handoff is checked for data races, not just for crashes.
+  api::Engine engine({.workers = 2});
+  engine.load_artifact(*artifact_);
+
+  const std::span<const float> samples(eval_->samples);
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> swaps{0};
+
+  std::thread swapper([&] {
+    while (!stop.load()) {
+      engine.load_artifact(*artifact_);  // same bits: parity stays provable
+      swaps.fetch_add(1);
+    }
+  });
+
+  std::atomic<std::size_t> jobs{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 2; ++t) {
+    submitters.emplace_back([&] {
+      while (!stop.load()) {
+        // A fresh session each round: taken before or after some swap,
+        // nondeterministically — both must serve identical detections.
+        auto session = engine.open_session();
+        EXPECT_EQ(session.submit_view(samples).get(), *offline_);
+        jobs.fetch_add(1);
+      }
+    });
+  }
+
+  // Long enough for many swaps to interleave with many jobs.
+  while (swaps.load() < 50 || jobs.load() < 12)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  stop.store(true);
+  swapper.join();
+  for (auto& t : submitters) t.join();
+
+  // A session pinned BEFORE the final swap still works after many more.
+  auto pinned = engine.open_session();
+  engine.load_artifact(*artifact_);
+  engine.load_artifact(*artifact_);
+  EXPECT_EQ(pinned.submit_view(samples).get(), *offline_);
+}
+
+// ---------------------------------------------------------------------------
+// Failure-model knobs through the facade
+// ---------------------------------------------------------------------------
+
+TEST_F(ApiFacade, SessionDeadlinesAndAdmissionSurfaceTypedErrors) {
+  api::EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.max_queue_depth = 1;
+  cfg.admission = api::AdmissionPolicy::kRejectWhenFull;
+  api::Engine engine(cfg);
+  engine.attach_model(*locator_);
+  auto session = engine.open_session();
+
+  // An already-expired deadline is refused before any queueing.
+  api::SubmitOptions expired;
+  expired.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  EXPECT_THROW(session.submit_view(eval_->samples, expired).get(),
+               DeadlineExceeded);
+
+  // At depth, the policy rejects synchronously with a typed transient
+  // error — the retry loop's cue to back off.
+  auto running = session.submit_view(eval_->samples);
+  try {
+    while (true) session.submit_view(eval_->samples);  // fills the slot, then throws
+  } catch (const Overloaded& e) {
+    EXPECT_TRUE(is_transient(e));
+  }
+  EXPECT_EQ(running.get(), *offline_);
 }
 
 }  // namespace

@@ -6,8 +6,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <future>
 #include <limits>
 #include <stdexcept>
+#include <thread>
 
 #include "core/locator.hpp"
 #include "runtime/locator_service.hpp"
@@ -147,6 +149,43 @@ TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
     throw std::runtime_error("job failed");
   });
   EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownRunsQueuedButUnstartedTasks) {
+  // The dtor contract: every queued task runs to completion before the
+  // workers join, so a future handed out by submit() NEVER dangles — even
+  // for tasks that had not started when shutdown began.
+  std::vector<std::future<int>> futures;
+  {
+    runtime::ThreadPool pool(1);
+    std::promise<void> gate;
+    auto opened = gate.get_future().share();
+    futures.push_back(pool.submit([opened](std::size_t) {
+      opened.wait();  // pins the only worker while the backlog builds
+      return 0;
+    }));
+    for (int i = 1; i < 9; ++i)
+      futures.push_back(pool.submit([i](std::size_t) { return i; }));
+    EXPECT_GT(pool.pending(), 0u);  // the backlog really is unstarted
+    gate.set_value();
+  }  // ~ThreadPool while most tasks are still queued
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+}
+
+TEST(ThreadPool, ShutdownResolvesQueuedFailingTasksExceptionally) {
+  // Same contract for tasks that fail while draining during shutdown: the
+  // exception lands in the future, typed, not on the worker thread.
+  std::future<int> doomed;
+  {
+    runtime::ThreadPool pool(1);
+    std::promise<void> gate;
+    auto opened = gate.get_future().share();
+    pool.post([opened](std::size_t) { opened.wait(); });
+    doomed = pool.submit(
+        [](std::size_t) -> int { throw InvalidArgument("queued failure"); });
+    gate.set_value();
+  }
+  EXPECT_THROW(doomed.get(), InvalidArgument);
 }
 
 // ---------------------------------------------------------------------------
@@ -341,6 +380,9 @@ TEST_F(RuntimeLocator, ServiceRunsConcurrentJobsAgainstSharedModel) {
     futures.push_back(service.submit_view(eval_->samples));
 
   for (auto& f : futures) EXPECT_EQ(f.get(), *offline_);
+  // Futures resolve before the worker-side accounting lands; drain() waits
+  // for the books (same convention as every other counter check here).
+  service.drain();
   EXPECT_EQ(service.jobs_submitted(), kJobs);
   EXPECT_EQ(service.jobs_completed(), kJobs);
 }
@@ -359,6 +401,51 @@ TEST_F(RuntimeLocator, ServiceHandlesMixedAndEmptyTraces) {
   EXPECT_EQ(full.get(), *offline_);
   service.drain();
   EXPECT_EQ(service.jobs_completed(), 3u);
+}
+
+TEST_F(RuntimeLocator, DrainRacingSubmitNeverDeadlocksAndResolvesEveryFuture) {
+  // drain() hammered from the main thread while a submitter keeps pushing
+  // jobs (half of them cancelled immediately). The contract under the race:
+  // no deadlock, every future resolves — with the right result or with a
+  // typed error — and the accounting converges.
+  runtime::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.max_queue_depth = 4;  // small: drain and backpressure really contend
+  runtime::LocatorService service(*locator_, cfg);
+
+  const auto slice = std::span<const float>(eval_->samples).subspan(0, 4096);
+  const auto expected = locator_->locate(slice);
+
+  constexpr std::size_t kJobs = 60;
+  std::vector<std::future<std::vector<std::size_t>>> futures(kJobs);
+  std::vector<runtime::LocatorService::CancelFlag> flags(kJobs);
+  std::atomic<std::size_t> produced{0};
+  std::thread submitter([&] {
+    for (std::size_t i = 0; i < kJobs; ++i) {
+      flags[i] = std::make_shared<std::atomic<bool>>(false);
+      futures[i] = service.submit_view(slice, flags[i]);
+      if (i % 2 == 1) flags[i]->store(true);  // orphan every other job
+      produced.store(i + 1);
+    }
+  });
+
+  // Race drain() against the live submitter from this thread.
+  while (produced.load() < kJobs) service.drain();
+  submitter.join();
+  service.drain();
+
+  std::size_t ok = 0, cancelled = 0;
+  for (auto& f : futures) {
+    try {
+      EXPECT_EQ(f.get(), expected);
+      ++ok;
+    } catch (const Cancelled&) {
+      ++cancelled;  // the orphaned futures resolve exceptionally, typed
+    }
+  }
+  EXPECT_EQ(ok + cancelled, kJobs);
+  EXPECT_EQ(service.jobs_completed(), service.jobs_submitted());
+  EXPECT_EQ(service.jobs_completed(), kJobs);
 }
 
 }  // namespace

@@ -37,8 +37,10 @@ core::HitScore oracle_hits(std::vector<std::size_t> detections,
     if (std::abs(best) <= half_co) offsets.push_back(best);
   }
   if (!offsets.empty()) {
-    std::nth_element(offsets.begin(), offsets.begin() + offsets.size() / 2,
-                     offsets.end());
+    std::nth_element(
+        offsets.begin(),
+        offsets.begin() + static_cast<std::ptrdiff_t>(offsets.size() / 2),
+        offsets.end());
     const std::ptrdiff_t median = offsets[offsets.size() / 2];
     for (auto& d : detections) {
       const auto corrected = static_cast<std::ptrdiff_t>(d) - median;

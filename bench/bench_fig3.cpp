@@ -29,7 +29,7 @@ int main() {
   for (const auto& ref : paper) {
     bench::Timer t;
     auto setup = bench::train_locator(ref.id, trace::RandomDelayConfig::kRd4,
-                                      0xF16'3000 + static_cast<int>(ref.id));
+                                      0xF16'3000 + static_cast<std::uint64_t>(ref.id));
     const auto& cm = setup.report.test_confusion;
     std::printf("--- %s (trained %.0fs, %zu test windows) ---\n",
                 crypto::cipher_display_name(ref.id).c_str(), t.seconds(),

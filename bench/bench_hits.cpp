@@ -37,9 +37,10 @@ int main() {
 
   bench::Timer total;
   for (const auto& cfg : configs) {
-    auto setup = bench::train_locator(cfg.id, cfg.rd,
-                                      0x417'5000 + 16 * static_cast<int>(cfg.id) +
-                                          static_cast<int>(cfg.rd));
+    auto setup = bench::train_locator(
+        cfg.id, cfg.rd,
+        0x417'5000 + 16 * static_cast<std::uint64_t>(cfg.id) +
+            static_cast<std::uint64_t>(cfg.rd));
     for (bool with_noise : {false, true}) {
       auto eval =
           trace::acquire_eval_trace(setup.scenario, n_cos, setup.key, with_noise);

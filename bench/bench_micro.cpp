@@ -106,12 +106,14 @@ void BM_Conv1dForwardPaper(benchmark::State& state) {
   conv.set_training(false);
   const auto x = random_tensor({batch, pc.cin, n}, 2);
   for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
-  const double flops = 2.0 * static_cast<double>(batch) * pc.cout * n *
-                       pc.cin * static_cast<double>(kernel);
+  const double flops = 2.0 * static_cast<double>(batch) *
+                       static_cast<double>(pc.cout) * static_cast<double>(n) *
+                       static_cast<double>(pc.cin) * static_cast<double>(kernel);
   state.counters["GFLOP/s"] = benchmark::Counter(
       static_cast<double>(state.iterations()) * flops * 1e-9,
       benchmark::Counter::kIsRate);
-  state.SetItemsProcessed(state.iterations() * batch * n);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch * n));
 }
 BENCHMARK(BM_Conv1dForwardPaper)->DenseRange(0, 3);
 
@@ -131,12 +133,14 @@ void BM_Conv1dForwardNaivePaper(benchmark::State& state) {
         out.data());
     benchmark::DoNotOptimize(out.data());
   }
-  const double flops = 2.0 * static_cast<double>(batch) * pc.cout * n *
-                       pc.cin * static_cast<double>(kernel);
+  const double flops = 2.0 * static_cast<double>(batch) *
+                       static_cast<double>(pc.cout) * static_cast<double>(n) *
+                       static_cast<double>(pc.cin) * static_cast<double>(kernel);
   state.counters["GFLOP/s"] = benchmark::Counter(
       static_cast<double>(state.iterations()) * flops * 1e-9,
       benchmark::Counter::kIsRate);
-  state.SetItemsProcessed(state.iterations() * batch * n);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch * n));
 }
 BENCHMARK(BM_Conv1dForwardNaivePaper)->DenseRange(0, 3);
 
@@ -158,8 +162,9 @@ void BM_Conv1dForwardPaperStack(benchmark::State& state) {
     conv->set_training(false);
     convs.push_back(std::move(conv));
     xs.push_back(random_tensor({batch, pc.cin, n}, i + 10));
-    flops += static_cast<double>(mult[i]) * 2.0 * batch * pc.cout * n *
-             pc.cin * static_cast<double>(kernel);
+    flops += static_cast<double>(mult[i]) * 2.0 * static_cast<double>(batch) *
+             static_cast<double>(pc.cout) * static_cast<double>(n) *
+             static_cast<double>(pc.cin) * static_cast<double>(kernel);
   }
   const std::size_t out_len = convs[0]->output_length(n);
   std::vector<float> out(batch * 32 * out_len);
@@ -233,8 +238,9 @@ void BM_ConvStackThreads(benchmark::State& state) {
     conv->set_training(false);
     convs.push_back(std::move(conv));
     xs.push_back(random_tensor({batch, pc.cin, n}, i + 10));
-    flops += static_cast<double>(mult[i]) * 2.0 * batch * pc.cout * n *
-             pc.cin * static_cast<double>(kernel);
+    flops += static_cast<double>(mult[i]) * 2.0 * static_cast<double>(batch) *
+             static_cast<double>(pc.cout) * static_cast<double>(n) *
+             static_cast<double>(pc.cin) * static_cast<double>(kernel);
   }
   for (auto _ : state) {
     for (std::size_t i = 0; i < 4; ++i)
@@ -411,10 +417,12 @@ int main(int argc, char** argv) {
       for (const int t : {1, 2, 4, 8}) {
         const double g = wall_gflops(std::string(bench) + "/" +
                                      std::to_string(t) + "/real_time");
-        json.kv("t" + std::to_string(t), g);
-        if (t > 1)
-          json.kv("t" + std::to_string(t) + "_speedup",
-                  t1 > 0.0 ? g / t1 : 0.0);
+        // Built with += rather than "t" + to_string(): the temporary-chain
+        // form trips gcc 12's spurious -Wrestrict on the inlined append.
+        std::string tkey("t");
+        tkey += std::to_string(t);
+        json.kv(tkey, g);
+        if (t > 1) json.kv(tkey + "_speedup", t1 > 0.0 ? g / t1 : 0.0);
       }
       json.end_object();
     }

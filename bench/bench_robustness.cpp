@@ -104,7 +104,7 @@ int main() {
     bench::Timer t;
     setups.push_back(bench::train_locator(
         id, trace::RandomDelayConfig::kRd2,
-        0x9b0'0000 + 16 * static_cast<int>(id), 512, 150000,
+        0x9b0'0000 + 16 * static_cast<std::uint64_t>(id), 512, 150000,
         [](core::LocatorConfig& lc) {
           lc.params.merge_gap_windows = 6;
           if (const char* s = std::getenv("SCALOCATE_MERGE_GAP"))

@@ -49,6 +49,19 @@ inline bool is_transient(const std::exception& e) {
   return dynamic_cast<const Transient*>(&e) != nullptr;
 }
 
+// Every class deriving from Error must be classified: either it carries the
+// Transient mixin (retryable) or it is named in the terminal list below.
+// tools/scalocate_lint.py parses the list between the two markers and fails
+// CI on any unclassified error type, so api::with_retry semantics can never
+// silently miss a new exception. Adding a terminal error class means adding
+// its name here and a row to the README failure-model table.
+//
+// scalocate-lint: terminal-errors
+//   InvalidArgument, IoError, ShapeError, Cancelled, CorruptSignal,
+//   ArtifactError, ArtifactBadMagic, ArtifactVersionMismatch,
+//   ArtifactArchMismatch, ArtifactChecksumMismatch
+// scalocate-lint: end-terminal-errors
+
 /// A submitted job was cancelled before it ran; surfaces through the job's
 /// future (runtime/locator_service, api::Job). Never transient: the caller
 /// asked for the abandonment, retrying would resurrect it.

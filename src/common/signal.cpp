@@ -69,7 +69,8 @@ std::vector<float> moving_average(std::span<const float> xs, std::size_t k) {
   const std::size_t half = k / 2;
   // Prefix sums for O(n) evaluation.
   std::vector<double> prefix(n + 1, 0.0);
-  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + xs[i];
+  for (std::size_t i = 0; i < n; ++i)
+    prefix[i + 1] = prefix[i] + static_cast<double>(xs[i]);
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t lo = i >= half ? i - half : 0;
     const std::size_t hi = std::min(n - 1, i + half);
@@ -85,7 +86,7 @@ std::vector<float> standardize(std::span<const float> xs) {
   std::vector<float> out(xs.size());
   if (sd <= 0.0) return out;
   for (std::size_t i = 0; i < xs.size(); ++i)
-    out[i] = static_cast<float>((xs[i] - m) / sd);
+    out[i] = static_cast<float>((static_cast<double>(xs[i]) - m) / sd);
   return out;
 }
 
@@ -110,7 +111,7 @@ std::vector<float> cross_correlate(std::span<const float> signal,
   for (std::size_t t = 0; t < out_len; ++t) {
     double acc = 0.0;
     for (std::size_t j = 0; j < kernel.size(); ++j)
-      acc += static_cast<double>(signal[t + j]) * kernel[j];
+      acc += static_cast<double>(signal[t + j]) * static_cast<double>(kernel[j]);
     out[t] = static_cast<float>(acc);
   }
   return out;
@@ -129,7 +130,7 @@ std::vector<float> normalized_cross_correlate(std::span<const float> signal,
   const double km = stats::mean(kernel);
   double kss = 0.0;
   for (float v : kernel) {
-    const double d = v - km;
+    const double d = static_cast<double>(v) - km;
     kss += d * d;
   }
   if (kss <= 0.0) return out;  // constant template correlates with nothing
@@ -138,8 +139,9 @@ std::vector<float> normalized_cross_correlate(std::span<const float> signal,
   std::vector<double> prefix(signal.size() + 1, 0.0);
   std::vector<double> prefix_sq(signal.size() + 1, 0.0);
   for (std::size_t i = 0; i < signal.size(); ++i) {
-    prefix[i + 1] = prefix[i] + signal[i];
-    prefix_sq[i + 1] = prefix_sq[i] + static_cast<double>(signal[i]) * signal[i];
+    prefix[i + 1] = prefix[i] + static_cast<double>(signal[i]);
+    prefix_sq[i + 1] = prefix_sq[i] + static_cast<double>(signal[i]) *
+                                          static_cast<double>(signal[i]);
   }
   for (std::size_t t = 0; t < out_len; ++t) {
     const double sum = prefix[t + m] - prefix[t];
@@ -152,7 +154,8 @@ std::vector<float> normalized_cross_correlate(std::span<const float> signal,
     }
     double cross = 0.0;
     for (std::size_t j = 0; j < m; ++j)
-      cross += (static_cast<double>(signal[t + j]) - smean) * (kernel[j] - km);
+      cross += (static_cast<double>(signal[t + j]) - smean) *
+               (static_cast<double>(kernel[j]) - km);
     out[t] = static_cast<float>(cross / std::sqrt(sss * kss));
   }
   return out;
@@ -200,7 +203,8 @@ std::vector<float> decimate(std::span<const float> xs, std::size_t factor) {
   out.reserve(xs.size() / factor + 1);
   for (std::size_t i = 0; i + factor <= xs.size(); i += factor) {
     double acc = 0.0;
-    for (std::size_t j = 0; j < factor; ++j) acc += xs[i + j];
+    for (std::size_t j = 0; j < factor; ++j)
+      acc += static_cast<double>(xs[i + j]);
     out.push_back(static_cast<float>(acc / static_cast<double>(factor)));
   }
   return out;

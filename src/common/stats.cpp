@@ -10,7 +10,7 @@ namespace scalocate::stats {
 double mean(std::span<const float> xs) {
   if (xs.empty()) return 0.0;
   double acc = 0.0;
-  for (float x : xs) acc += x;
+  for (float x : xs) acc += static_cast<double>(x);
   return acc / static_cast<double>(xs.size());
 }
 
@@ -26,7 +26,7 @@ double variance(std::span<const float> xs) {
   const double m = mean(xs);
   double acc = 0.0;
   for (float x : xs) {
-    const double d = x - m;
+    const double d = static_cast<double>(x) - m;
     acc += d * d;
   }
   return acc / static_cast<double>(xs.size());
@@ -42,8 +42,8 @@ double pearson(std::span<const float> xs, std::span<const float> ys) {
   const double my = mean(ys);
   double sxx = 0.0, syy = 0.0, sxy = 0.0;
   for (std::size_t i = 0; i < xs.size(); ++i) {
-    const double dx = xs[i] - mx;
-    const double dy = ys[i] - my;
+    const double dx = static_cast<double>(xs[i]) - mx;
+    const double dy = static_cast<double>(ys[i]) - my;
     sxx += dx * dx;
     syy += dy * dy;
     sxy += dx * dy;
@@ -76,7 +76,8 @@ double percentile(std::span<const float> xs, double p) {
   const std::size_t lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, tmp.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return (1.0 - frac) * tmp[lo] + frac * tmp[hi];
+  return (1.0 - frac) * static_cast<double>(tmp[lo]) +
+         frac * static_cast<double>(tmp[hi]);
 }
 
 float min_value(std::span<const float> xs) {

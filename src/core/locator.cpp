@@ -46,7 +46,8 @@ void CoLocator::build_fine_template(const trace::CipherAcquisition& ciphers) {
   std::size_t used = 0;
   for (const auto& cap : ciphers.captures) {
     if (cap.samples.size() < len) continue;
-    for (std::size_t j = 0; j < len; ++j) acc[j] += cap.samples[j];
+    for (std::size_t j = 0; j < len; ++j)
+      acc[j] += static_cast<double>(cap.samples[j]);
     ++used;
   }
   if (used == 0) return;
@@ -128,8 +129,10 @@ std::ptrdiff_t median_offset(const std::vector<std::size_t>& detections,
     if (best_abs <= max_abs) offsets.push_back(best);
   }
   if (offsets.empty()) return 0;
-  std::nth_element(offsets.begin(), offsets.begin() + offsets.size() / 2,
-                   offsets.end());
+  std::nth_element(
+      offsets.begin(),
+      offsets.begin() + static_cast<std::ptrdiff_t>(offsets.size() / 2),
+      offsets.end());
   return offsets[offsets.size() / 2];
 }
 

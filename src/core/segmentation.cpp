@@ -53,11 +53,11 @@ float Segmenter::otsu_threshold(std::span<const float> scores,
 
   constexpr std::size_t kBins = 256;
   std::array<std::size_t, kBins> hist{};
-  const double scale = static_cast<double>(kBins - 1) / (hi - lo);
+  const double scale = static_cast<double>(kBins - 1) / static_cast<double>(hi - lo);
   for (float s : scores) {
     // Clamp before the cast: with a clipped range, outliers below `lo` map
     // to a negative offset (casting that to unsigned is UB).
-    double pos = (static_cast<double>(s) - lo) * scale;
+    double pos = (static_cast<double>(s) - static_cast<double>(lo)) * scale;
     if (pos < 0.0) pos = 0.0;
     auto bin = static_cast<std::size_t>(pos);
     if (bin >= kBins) bin = kBins - 1;

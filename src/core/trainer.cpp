@@ -28,7 +28,7 @@ std::pair<double, ConfusionMatrix> Trainer::evaluate(
   loader.start_epoch();
   while (loader.next(batch)) {
     nn::Tensor logits = model.forward(batch.inputs, ws);
-    loss_acc += loss_fn.forward(logits, batch.labels);
+    loss_acc += static_cast<double>(loss_fn.forward(logits, batch.labels));
     ++batches;
     for (std::size_t b = 0; b < batch.labels.size(); ++b) {
       const std::uint8_t pred =
@@ -63,7 +63,8 @@ TrainReport Trainer::fit(nn::Sequential& model,
     while (loader.next(batch)) {
       optimizer.zero_grad();
       nn::Tensor logits = model.forward(batch.inputs, ws);
-      train_loss_acc += loss_fn.forward(logits, batch.labels);
+      train_loss_acc +=
+          static_cast<double>(loss_fn.forward(logits, batch.labels));
       model.backward(loss_fn.backward(), ws);
       optimizer.step();
       ++batches;

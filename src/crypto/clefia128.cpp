@@ -235,7 +235,7 @@ void Clefia128::set_key(const Key16& key) {
   }
 
   // Whitening keys: WK0..3 = K.
-  for (int i = 0; i < 4; ++i) wk_[i] = k[i];
+  for (std::size_t i = 0; i < 4; ++i) wk_[i] = k[i];
 
   // Round keys: 36 words from DoubleSwap iterations of L (official
   // schedule shape: every odd step additionally XORs the user key).

@@ -46,10 +46,10 @@ Tensor softmax(const Tensor& logits) {
     double denom = 0.0;
     for (std::size_t c = 0; c < classes; ++c) {
       orow[c] = std::exp(row[c] - max_v);
-      denom += orow[c];
+      denom += static_cast<double>(orow[c]);
     }
     for (std::size_t c = 0; c < classes; ++c)
-      orow[c] = static_cast<float>(orow[c] / denom);
+      orow[c] = static_cast<float>(static_cast<double>(orow[c]) / denom);
   }
   return out;
 }

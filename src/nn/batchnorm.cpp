@@ -47,15 +47,17 @@ Tensor BatchNorm1d::forward(const Tensor& input, Workspace& ws) const {
       for (std::size_t b = 0; b < batch; ++b) {
         const float* row = input.data() + (b * channels_ + c) * n;
         for (std::size_t i = 0; i < n; ++i) {
-          const double d = row[i] - mean;
+          const double d = static_cast<double>(row[i]) - mean;
           var += d * d;
         }
       }
       var /= static_cast<double>(count);
-      running_mean_[c] = static_cast<float>((1.0 - momentum_) * running_mean_[c] +
-                                            momentum_ * mean);
-      running_var_[c] = static_cast<float>((1.0 - momentum_) * running_var_[c] +
-                                           momentum_ * var);
+      running_mean_[c] = static_cast<float>(
+          (1.0 - momentum_) * static_cast<double>(running_mean_[c]) +
+          momentum_ * mean);
+      running_var_[c] = static_cast<float>(
+          (1.0 - momentum_) * static_cast<double>(running_var_[c]) +
+          momentum_ * var);
     } else {
       mean = running_mean_[c];
       var = running_var_[c];
@@ -75,7 +77,8 @@ Tensor BatchNorm1d::forward(const Tensor& input, Workspace& ws) const {
         float* nrow = cached_normalized.data() + off;
         float* orow = out.data() + off;
         for (std::size_t i = 0; i < n; ++i) {
-          const float xhat = static_cast<float>((row[i] - mean) * inv_std);
+          const float xhat =
+              static_cast<float>((static_cast<double>(row[i]) - mean) * inv_std);
           nrow[i] = xhat;
           orow[i] = g * xhat + be;
         }

@@ -11,7 +11,8 @@ namespace {
 double weighted_sum(const Tensor& t, const std::vector<float>& weights) {
   double acc = 0.0;
   const float* d = t.data();
-  for (std::size_t i = 0; i < t.numel(); ++i) acc += d[i] * weights[i];
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    acc += static_cast<double>(d[i] * weights[i]);
   return acc;
 }
 
@@ -47,9 +48,9 @@ GradCheckResult check_layer_gradients(Layer& layer, const Tensor& input,
   Tensor x = input;
   for (std::size_t i = 0; i < x.numel(); ++i) {
     const float orig = x.at(i);
-    x.at(i) = static_cast<float>(orig + epsilon);
+    x.at(i) = static_cast<float>(static_cast<double>(orig) + epsilon);
     const double plus = weighted_sum(layer.forward(x, ws), out_weights);
-    x.at(i) = static_cast<float>(orig - epsilon);
+    x.at(i) = static_cast<float>(static_cast<double>(orig) - epsilon);
     const double minus = weighted_sum(layer.forward(x, ws), out_weights);
     x.at(i) = orig;
     update(grad_in.at(i), (plus - minus) / (2.0 * epsilon));
@@ -59,9 +60,9 @@ GradCheckResult check_layer_gradients(Layer& layer, const Tensor& input,
   for (Param* p : layer.params()) {
     for (std::size_t i = 0; i < p->value.numel(); ++i) {
       const float orig = p->value.at(i);
-      p->value.at(i) = static_cast<float>(orig + epsilon);
+      p->value.at(i) = static_cast<float>(static_cast<double>(orig) + epsilon);
       const double plus = weighted_sum(layer.forward(input, ws), out_weights);
-      p->value.at(i) = static_cast<float>(orig - epsilon);
+      p->value.at(i) = static_cast<float>(static_cast<double>(orig) - epsilon);
       const double minus = weighted_sum(layer.forward(input, ws), out_weights);
       p->value.at(i) = orig;
       update(p->grad.at(i), (plus - minus) / (2.0 * epsilon));

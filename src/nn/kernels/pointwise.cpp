@@ -53,7 +53,7 @@ void row_sums_add(const float* c, std::size_t rows, std::size_t cols,
   for (std::size_t r = 0; r < rows; ++r) {
     const float* crow = c + r * cols;
     double acc = 0.0;
-    for (std::size_t j = 0; j < cols; ++j) acc += crow[j];
+    for (std::size_t j = 0; j < cols; ++j) acc += static_cast<double>(crow[j]);
     out[r] += static_cast<float>(acc);
   }
 }
@@ -76,13 +76,14 @@ void bn_input_grad(std::size_t n, const float* g, const float* xhat,
                    double coeff, double mean_g, double mean_g_xhat,
                    float* gx) {
   for (std::size_t i = 0; i < n; ++i)
-    gx[i] = static_cast<float>(coeff *
-                               (g[i] - mean_g - xhat[i] * mean_g_xhat));
+    gx[i] = static_cast<float>(
+        coeff * (static_cast<double>(g[i]) - mean_g -
+                 static_cast<double>(xhat[i]) * mean_g_xhat));
 }
 
 double sum(std::size_t n, const float* x) {
   double acc = 0.0;
-  for (std::size_t i = 0; i < n; ++i) acc += x[i];
+  for (std::size_t i = 0; i < n; ++i) acc += static_cast<double>(x[i]);
   return acc;
 }
 
@@ -91,8 +92,8 @@ void sums_dot(std::size_t n, const float* a, const float* b, double* sum_a,
   double s = 0.0;
   double d = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    s += a[i];
-    d += static_cast<double>(a[i]) * b[i];
+    s += static_cast<double>(a[i]);
+    d += static_cast<double>(a[i]) * static_cast<double>(b[i]);
   }
   *sum_a += s;
   *dot_ab += d;
@@ -100,11 +101,11 @@ void sums_dot(std::size_t n, const float* a, const float* b, double* sum_a,
 
 void mean_var(std::size_t n, const float* x, double* mean, double* var) {
   double m = 0.0;
-  for (std::size_t i = 0; i < n; ++i) m += x[i];
+  for (std::size_t i = 0; i < n; ++i) m += static_cast<double>(x[i]);
   m = n > 0 ? m / static_cast<double>(n) : 0.0;
   double v = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    const double d = x[i] - m;
+    const double d = static_cast<double>(x[i]) - m;
     v += d * d;
   }
   v = n > 0 ? v / static_cast<double>(n) : 0.0;
@@ -122,7 +123,7 @@ void standardize(std::span<const float> src, float* dst) {
     return;
   }
   for (std::size_t i = 0; i < src.size(); ++i)
-    dst[i] = static_cast<float>((src[i] - m) / sd);
+    dst[i] = static_cast<float>((static_cast<double>(src[i]) - m) / sd);
 }
 
 }  // namespace scalocate::nn::kernels

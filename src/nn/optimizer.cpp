@@ -56,9 +56,10 @@ void Adam::step() {
     for (std::size_t j = 0; j < p.value.numel(); ++j) {
       m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
       v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad[j] * grad[j];
-      const double mhat = m[j] / bias1;
-      const double vhat = v[j] / bias2;
-      value[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+      const double mhat = static_cast<double>(m[j]) / bias1;
+      const double vhat = static_cast<double>(v[j]) / bias2;
+      value[j] -= static_cast<float>(static_cast<double>(lr_) * mhat /
+                                     (std::sqrt(vhat) + static_cast<double>(eps_)));
     }
   }
 }

@@ -141,8 +141,16 @@ std::string json_escape(std::string_view s) {
 namespace {
 
 struct Parser {
+  /// Containers may nest at most this deep. Registry snapshots and bench
+  /// thresholds nest < 10 levels; the cap exists because parse_value()
+  /// recurses per level, so without it a hostile "[[[[..." document drives
+  /// the parse into a stack overflow (a crash, not a typed error) — and
+  /// bench_check feeds this parser files it did not write.
+  static constexpr std::size_t kMaxDepth = 192;
+
   std::string_view text;
   std::size_t pos = 0;
+  std::size_t depth = 0;
 
   [[noreturn]] void fail(const std::string& what) const {
     throw InvalidArgument("json parse error at offset " + std::to_string(pos) +
@@ -254,10 +262,11 @@ struct Parser {
     const char c = peek();
     JsonValue v;
     if (c == '{') {
+      if (++depth > kMaxDepth) fail("nesting too deep");
       ++pos;
       v.type = JsonValue::Type::kObject;
       skip_ws();
-      if (peek() == '}') { ++pos; return v; }
+      if (peek() == '}') { ++pos; --depth; return v; }
       while (true) {
         skip_ws();
         std::string key = parse_string();
@@ -267,19 +276,22 @@ struct Parser {
         skip_ws();
         if (peek() == ',') { ++pos; continue; }
         expect('}');
+        --depth;
         return v;
       }
     }
     if (c == '[') {
+      if (++depth > kMaxDepth) fail("nesting too deep");
       ++pos;
       v.type = JsonValue::Type::kArray;
       skip_ws();
-      if (peek() == ']') { ++pos; return v; }
+      if (peek() == ']') { ++pos; --depth; return v; }
       while (true) {
         v.array.push_back(parse_value());
         skip_ws();
         if (peek() == ',') { ++pos; continue; }
         expect(']');
+        --depth;
         return v;
       }
     }

@@ -126,7 +126,7 @@ struct ServiceConfig {
   obs::Registry* registry = nullptr;
   /// Instrument name prefix, e.g. "engine.aes128" (default "service").
   /// Also names this service's fault-injection site "<prefix>.job".
-  std::string metric_prefix;
+  std::string metric_prefix{};
 };
 
 /// Resolved per-service instrument set (see README "Observability" for the

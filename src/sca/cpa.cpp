@@ -30,12 +30,13 @@ void CpaAttack::add_trace(std::span<const float> segment,
     double acc = 0.0;
     const std::size_t off = j * config_.aggregate_bin;
     for (std::size_t i = 0; i < config_.aggregate_bin; ++i)
-      acc += segment[off + i];
+      acc += static_cast<double>(segment[off + i]);
     binned_[j] = static_cast<float>(acc);
   }
   for (std::size_t j = 0; j < n_bins_; ++j) {
-    sum_x_[j] += binned_[j];
-    sum_x2_[j] += static_cast<double>(binned_[j]) * binned_[j];
+    sum_x_[j] += static_cast<double>(binned_[j]);
+    sum_x2_[j] +=
+        static_cast<double>(binned_[j]) * static_cast<double>(binned_[j]);
   }
 
   for (std::size_t b = 0; b < 16; ++b) {
@@ -46,7 +47,8 @@ void CpaAttack::add_trace(std::span<const float> segment,
       sum_h_[hidx] += h;
       sum_h2_[hidx] += h * h;
       double* hx = &sum_hx_[hidx * n_bins_];
-      for (std::size_t j = 0; j < n_bins_; ++j) hx[j] += h * binned_[j];
+      for (std::size_t j = 0; j < n_bins_; ++j)
+        hx[j] += h * static_cast<double>(binned_[j]);
     }
   }
   ++n_traces_;

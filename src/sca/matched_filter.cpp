@@ -42,7 +42,7 @@ void MatchedFilterLocator::fit(const trace::CipherAcquisition& profiling) {
     const auto& raw = profiling.captures[i].samples;
     if (raw.size() < len) continue;
     const auto s = smooth(raw);
-    for (std::size_t j = 0; j < len; ++j) acc[j] += s[j];
+    for (std::size_t j = 0; j < len; ++j) acc[j] += static_cast<double>(s[j]);
     co_len_acc += static_cast<double>(raw.size());
     ++used;
   }

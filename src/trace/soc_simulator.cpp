@@ -147,10 +147,14 @@ void SocSimulator::run_cipher_preempted(const crypto::BlockCipher& cipher,
     std::size_t idx = 0;
     std::size_t next = 0;
 
-    PreemptingSink(RenderSink& inner, NoiseAppGenerator& noise, Rng& rng,
-                   const PreemptionConfig& cfg,
-                   const std::vector<std::size_t>& points)
-        : inner(inner), noise(noise), rng(rng), cfg(cfg), points(points) {}
+    PreemptingSink(RenderSink& sink_in, NoiseAppGenerator& noise_in,
+                   Rng& rng_in, const PreemptionConfig& cfg_in,
+                   const std::vector<std::size_t>& points_in)
+        : inner(sink_in),
+          noise(noise_in),
+          rng(rng_in),
+          cfg(cfg_in),
+          points(points_in) {}
 
     void on_event(const crypto::DataEvent& event) override {
       while (next < points.size() && idx == points[next]) {

@@ -99,8 +99,8 @@ TEST_P(CipherKat, TracedEncryptMatchesUntraced) {
 
 INSTANTIATE_TEST_SUITE_P(StandardVectors, CipherKat,
                          ::testing::ValuesIn(kVectors),
-                         [](const ::testing::TestParamInfo<KnownAnswer>& info) {
-                           std::string name = info.param.source;
+                         [](const ::testing::TestParamInfo<KnownAnswer>& param_info) {
+                           std::string name = param_info.param.source;
                            for (char& c : name)
                              if (!std::isalnum(static_cast<unsigned char>(c)))
                                c = '_';

@@ -67,8 +67,12 @@ TEST(Dataset, SplitFractionsAreRespected) {
   const auto split = builder.split(ds);
   const auto total = split.train.size() + split.val.size() + split.test.size();
   EXPECT_EQ(total, ds.size());
-  EXPECT_NEAR(static_cast<double>(split.train.size()) / total, 0.80, 0.03);
-  EXPECT_NEAR(static_cast<double>(split.val.size()) / total, 0.15, 0.03);
+  EXPECT_NEAR(static_cast<double>(split.train.size()) /
+                  static_cast<double>(total),
+              0.80, 0.03);
+  EXPECT_NEAR(static_cast<double>(split.val.size()) /
+                  static_cast<double>(total),
+              0.15, 0.03);
 }
 
 TEST(Dataset, SplitIsStratified) {

@@ -68,8 +68,10 @@ TEST(Segmenter, AutoMedianKIsOddAndClamped) {
 
 TEST(Segmenter, OtsuSeparatesBimodalScores) {
   std::vector<float> scores;
-  for (int i = 0; i < 100; ++i) scores.push_back(-5.f + 0.01f * i);
-  for (int i = 0; i < 100; ++i) scores.push_back(5.f + 0.01f * i);
+  for (int i = 0; i < 100; ++i)
+    scores.push_back(-5.f + 0.01f * static_cast<float>(i));
+  for (int i = 0; i < 100; ++i)
+    scores.push_back(5.f + 0.01f * static_cast<float>(i));
   const float th = Segmenter::otsu_threshold(scores);
   EXPECT_GT(th, -4.2f);
   EXPECT_LT(th, 5.0f);
@@ -132,8 +134,10 @@ TEST(Segmenter, OtsuClippedRangeShrugsOffOutliers) {
   // Bimodal mass at -5 and +5 with AGC-style outlier spikes: the unclipped
   // histogram squashes the real modes into a couple of bins.
   std::vector<float> scores;
-  for (int i = 0; i < 100; ++i) scores.push_back(-5.f + 0.01f * i);
-  for (int i = 0; i < 100; ++i) scores.push_back(5.f + 0.01f * i);
+  for (int i = 0; i < 100; ++i)
+    scores.push_back(-5.f + 0.01f * static_cast<float>(i));
+  for (int i = 0; i < 100; ++i)
+    scores.push_back(5.f + 0.01f * static_cast<float>(i));
   scores.push_back(1000.f);
   scores.push_back(-1000.f);
   const float clipped = Segmenter::otsu_threshold(scores, 2.0);

@@ -1,0 +1,119 @@
+// obs::JsonValue against a corpus of hostile inputs (tests/data/json_corpus).
+//
+// The parser sits on a trust boundary: bench_check and the threshold gates
+// parse BENCH_*.json / thresholds files they did not write. The contract is
+// that NO input crashes or hangs the parser — every malformed document fails
+// with a typed scalocate::InvalidArgument, and every well-formed one parses.
+// Corpus naming carries the expectation: bad_*.json must throw,
+// ok_*.json must parse.
+//
+// The deep-nesting corpus files are the regression tests for a real bug the
+// static-analysis PR fixed: parse_value() recursed once per container level
+// with no depth cap, so a few hundred KiB of "[[[[..." drove the parse into
+// a stack overflow (SIGSEGV, not a typed error). Parser::kMaxDepth now
+// bounds the recursion; bad_depth_193 / ok_depth_192 pin the boundary.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace scalocate {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path corpus_dir() {
+  return fs::path(SCALOCATE_TEST_DATA_DIR) / "json_corpus";
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+std::vector<fs::path> corpus_files(const std::string& prefix) {
+  std::vector<fs::path> out;
+  for (const auto& entry : fs::directory_iterator(corpus_dir()))
+    if (entry.path().filename().string().starts_with(prefix))
+      out.push_back(entry.path());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(JsonCorpus, CorpusIsPresentAndNamed) {
+  // A missing data dir must fail loudly, not let the suites below pass
+  // vacuously over empty file lists.
+  ASSERT_TRUE(fs::exists(corpus_dir())) << corpus_dir();
+  EXPECT_GE(corpus_files("bad_").size(), 10u);
+  EXPECT_GE(corpus_files("ok_").size(), 5u);
+}
+
+TEST(JsonCorpus, EveryBadFileFailsTyped) {
+  for (const auto& p : corpus_files("bad_")) {
+    const std::string text = slurp(p);
+    EXPECT_THROW(
+        {
+          const auto v = obs::JsonValue::parse(text);
+          (void)v;
+        },
+        InvalidArgument)
+        << p.filename();
+  }
+}
+
+TEST(JsonCorpus, EveryOkFileParses) {
+  for (const auto& p : corpus_files("ok_")) {
+    const std::string text = slurp(p);
+    EXPECT_NO_THROW({
+      const auto v = obs::JsonValue::parse(text);
+      (void)v;
+    }) << p.filename();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned semantics for specific corpus members (beyond parse/throw).
+// ---------------------------------------------------------------------------
+
+TEST(JsonCorpus, DepthCapBoundaryIsExact) {
+  // 192 levels parse; 193 fail typed. Also the programmatic million-bracket
+  // version of the original crash input, which must not need a corpus file
+  // big enough to matter.
+  EXPECT_NO_THROW(obs::JsonValue::parse(slurp(corpus_dir() / "ok_depth_192.json")));
+  EXPECT_THROW(obs::JsonValue::parse(slurp(corpus_dir() / "bad_depth_193.json")),
+               InvalidArgument);
+  std::string deep(1u << 20, '[');
+  EXPECT_THROW(obs::JsonValue::parse(deep), InvalidArgument);
+}
+
+TEST(JsonCorpus, ExactU64MaxSurvivesRoundTrip) {
+  const auto v = obs::JsonValue::parse(slurp(corpus_dir() / "ok_exact_u64_max.json"));
+  const auto* c = v.find("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_TRUE(c->is_integer);
+  EXPECT_EQ(c->integer, UINT64_MAX);
+}
+
+TEST(JsonCorpus, EscapesDecode) {
+  const auto v = obs::JsonValue::parse(slurp(corpus_dir() / "ok_escapes.json"));
+  const auto* s = v.find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->string, "q\"b\\n\nt\tuA\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonCorpus, HugeExponentIsTypedErrorNotCrash) {
+  EXPECT_THROW(obs::JsonValue::parse("[1e999999999]"), InvalidArgument);
+  EXPECT_THROW(obs::JsonValue::parse("[-1e999999999]"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace scalocate

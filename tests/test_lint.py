@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Self-test for tools/scalocate_lint.py.
+
+Every lint rule is exercised twice on fixture snippets written to a temp
+tree: once on a fixture that MUST fire (proving the rule detects the
+violation it exists for) and once on a fixture that MUST pass (proving it
+does not cry wolf). A final test runs the full lint against the real
+repository and requires zero findings — the same invocation CI's
+static-analysis job uses.
+
+Run directly (python3 tests/test_lint.py) or via ctest (lint_selftest).
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import scalocate_lint as lint  # noqa: E402
+
+
+def make_tree(files: dict[str, str]) -> tempfile.TemporaryDirectory:
+    tmp = tempfile.TemporaryDirectory(prefix="scalocate_lint_fixture_")
+    for rel, content in files.items():
+        path = Path(tmp.name) / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+    return tmp
+
+
+# Minimal taxonomy header shared by the error-taxonomy fixtures; mirrors the
+# real src/common/error.hpp structure (base, mixin, parseable terminal list).
+ERROR_HPP = """\
+class Error {};
+class Transient {};
+// scalocate-lint: terminal-errors
+//   Okay
+// scalocate-lint: end-terminal-errors
+class Okay : public Error {};
+class Fine : public Error, public Transient {};
+"""
+
+
+class MemoryOrderRule(unittest.TestCase):
+    SNIPPET = "void f(std::atomic<int>& a) { a.load(std::memory_order_relaxed); }\n"
+
+    def test_fires_outside_allowlist(self):
+        with make_tree({"src/core/hot.cpp": self.SNIPPET}) as root:
+            findings = lint.check_memory_order(Path(root))
+        self.assertEqual(len(findings), 1)
+        self.assertIn("src/core/hot.cpp:1", findings[0])
+        self.assertIn("[memory-order]", findings[0])
+
+    def test_passes_in_allowlisted_file(self):
+        with make_tree({"src/obs/hot.cpp": self.SNIPPET}) as root:
+            self.assertEqual(lint.check_memory_order(Path(root)), [])
+
+    def test_comment_mention_does_not_fire(self):
+        with make_tree({"src/core/doc.cpp":
+                        "// beware memory_order_relaxed here\nint x;\n"}) as root:
+            self.assertEqual(lint.check_memory_order(Path(root)), [])
+
+
+class ErrorTaxonomyRule(unittest.TestCase):
+    def test_fires_on_unclassified_error(self):
+        files = {"src/common/error.hpp": ERROR_HPP,
+                 "src/api/rogue.hpp": "class Rogue : public Error {};\n"}
+        with make_tree(files) as root:
+            findings = lint.check_error_taxonomy(Path(root))
+        self.assertEqual(len(findings), 1)
+        self.assertIn("Rogue", findings[0])
+        self.assertIn("[error-taxonomy]", findings[0])
+
+    def test_fires_on_stale_terminal_entry(self):
+        hpp = ERROR_HPP.replace("//   Okay", "//   Okay, Ghost")
+        with make_tree({"src/common/error.hpp": hpp}) as root:
+            findings = lint.check_error_taxonomy(Path(root))
+        self.assertEqual(len(findings), 1)
+        self.assertIn("Ghost", findings[0])
+
+    def test_passes_when_all_classified(self):
+        # Classification is transitive: Sub derives Error via Fine and
+        # inherits Fine's Transient mixin.
+        files = {"src/common/error.hpp": ERROR_HPP,
+                 "src/api/sub.hpp": "class Sub : public Fine {};\n"}
+        with make_tree(files) as root:
+            self.assertEqual(lint.check_error_taxonomy(Path(root)), [])
+
+
+class MetricDriftRule(unittest.TestCase):
+    README = """\
+## Observability
+
+| Layer | Instruments |
+|---|---|
+| engine | `engine.<model>.requests` counter |
+
+## Next section
+"""
+    CODE = 'void reg(R& r, std::string p) { r.counter(p + ".requests"); }\n'
+
+    def test_passes_when_in_sync(self):
+        with make_tree({"README.md": self.README,
+                        "src/svc.cpp": self.CODE}) as root:
+            self.assertEqual(lint.check_metric_drift(Path(root)), [])
+
+    def test_fires_on_undocumented_registration(self):
+        code = self.CODE + 'void reg2(R& r, std::string p) { r.counter(p + ".bogus"); }\n'
+        with make_tree({"README.md": self.README,
+                        "src/svc.cpp": code}) as root:
+            findings = lint.check_metric_drift(Path(root))
+        self.assertEqual(len(findings), 1)
+        self.assertIn("bogus", findings[0])
+        self.assertIn("[metric-drift]", findings[0])
+
+    def test_fires_on_unregistered_documented_instrument(self):
+        readme = self.README.replace(
+            "`engine.<model>.requests` counter",
+            "`engine.<model>.requests`/`.ghost` counters")
+        with make_tree({"README.md": readme,
+                        "src/svc.cpp": self.CODE}) as root:
+            findings = lint.check_metric_drift(Path(root))
+        self.assertEqual(len(findings), 1)
+        self.assertIn("ghost", findings[0])
+        self.assertIn("README.md", findings[0])
+
+    def test_dynamic_leaf_allowlist_covers_runtime_names(self):
+        readme = self.README.replace(
+            "`engine.<model>.requests` counter",
+            "`engine.<model>.requests` counter, `k.<m>x<n>.ns` histograms")
+        with make_tree({"README.md": readme,
+                        "src/svc.cpp": self.CODE}) as root:
+            findings = lint.check_metric_drift(Path(root))
+        # ".ns" has no literal in the fixture code either, but it is a
+        # declared dynamic name (DYNAMIC_METRIC_LEAVES), so no finding.
+        self.assertEqual(findings, [])
+
+
+class HeaderUsingRule(unittest.TestCase):
+    def test_fires_at_namespace_scope(self):
+        hpp = "namespace foo {\nusing namespace std;\n}\n"
+        with make_tree({"src/a.hpp": hpp}) as root:
+            findings = lint.check_header_using(Path(root))
+        self.assertEqual(len(findings), 1)
+        self.assertIn("src/a.hpp:2", findings[0])
+        self.assertIn("[header-using]", findings[0])
+
+    def test_fires_at_file_scope(self):
+        with make_tree({"src/a.hpp": "using namespace std;\n"}) as root:
+            self.assertEqual(len(lint.check_header_using(Path(root))), 1)
+
+    def test_passes_inside_function_body(self):
+        hpp = ("namespace foo {\n"
+               "inline void f() {\n"
+               "  using namespace std;\n"
+               "}\n"
+               "}\n")
+        with make_tree({"src/b.hpp": hpp}) as root:
+            self.assertEqual(lint.check_header_using(Path(root)), [])
+
+    def test_ignores_comments_strings_and_cpp_files(self):
+        files = {"src/c.hpp": ('// using namespace std;\n'
+                               '/* using namespace std; */\n'
+                               'inline const char* s() '
+                               '{ return "using namespace std;"; }\n'),
+                 "src/d.cpp": "using namespace std;\n"}
+        with make_tree(files) as root:
+            self.assertEqual(lint.check_header_using(Path(root)), [])
+
+
+class RepositoryIsClean(unittest.TestCase):
+    def test_full_lint_has_zero_findings(self):
+        findings = lint.run(REPO_ROOT)
+        self.assertEqual(findings, [], "\n".join(findings))
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

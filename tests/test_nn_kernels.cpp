@@ -159,8 +159,10 @@ TEST(Col2Im, IsAdjointOfIm2Col) {
   std::vector<float> xt(cin * n, 0.0f);
   kernels::col2im(c.data(), cin, n, k, stride, pad, out_len, xt.data());
   double lhs = 0.0, rhs = 0.0;
-  for (std::size_t i = 0; i < col.size(); ++i) lhs += col[i] * c[i];
-  for (std::size_t i = 0; i < x.size(); ++i) rhs += x[i] * xt[i];
+  for (std::size_t i = 0; i < col.size(); ++i)
+    lhs += static_cast<double>(col[i] * c[i]);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    rhs += static_cast<double>(x[i] * xt[i]);
   EXPECT_NEAR(lhs, rhs, 1e-4);
 }
 
@@ -538,10 +540,10 @@ TEST(Pointwise, StandardizeMatchesDefinition) {
   std::vector<float> dst(64);
   kernels::standardize(src, dst.data());
   double m = 0.0;
-  for (float v : dst) m += v;
+  for (float v : dst) m += static_cast<double>(v);
   m /= 64.0;
   double var = 0.0;
-  for (float v : dst) var += (v - m) * (v - m);
+  for (float v : dst) var += (static_cast<double>(v) - m) * (static_cast<double>(v) - m);
   var /= 64.0;
   EXPECT_NEAR(m, 0.0, 1e-6);
   EXPECT_NEAR(var, 1.0, 1e-5);

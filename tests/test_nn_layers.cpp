@@ -125,11 +125,12 @@ TEST(BatchNorm, NormalizesPerChannelInTraining) {
   for (std::size_t c = 0; c < 2; ++c) {
     double mean = 0.0, var = 0.0;
     for (std::size_t b = 0; b < 4; ++b)
-      for (std::size_t i = 0; i < 16; ++i) mean += y.at(b, c, i);
+      for (std::size_t i = 0; i < 16; ++i)
+        mean += static_cast<double>(y.at(b, c, i));
     mean /= 64.0;
     for (std::size_t b = 0; b < 4; ++b)
       for (std::size_t i = 0; i < 16; ++i) {
-        const double d = y.at(b, c, i) - mean;
+        const double d = static_cast<double>(y.at(b, c, i)) - mean;
         var += d * d;
       }
     var /= 64.0;
@@ -208,7 +209,7 @@ TEST(Softmax, RowsSumToOne) {
     double sum = 0.0;
     for (std::size_t c = 0; c < 3; ++c) {
       EXPECT_GT(p.at(b, c), 0.f);
-      sum += p.at(b, c);
+      sum += static_cast<double>(p.at(b, c));
     }
     EXPECT_NEAR(sum, 1.0, 1e-5);
   }
@@ -356,8 +357,8 @@ TEST(Init, HeNormalHasExpectedScale) {
   he_normal_init(w, rng);
   double sum = 0.0, sum_sq = 0.0;
   for (float v : w.flat()) {
-    sum += v;
-    sum_sq += static_cast<double>(v) * v;
+    sum += static_cast<double>(v);
+    sum_sq += static_cast<double>(v) * static_cast<double>(v);
   }
   const double n = static_cast<double>(w.numel());
   EXPECT_NEAR(sum / n, 0.0, 5e-3);

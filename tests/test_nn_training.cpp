@@ -73,7 +73,7 @@ double train_and_eval(OptFactory make_opt, std::uint64_t seed) {
       Tensor x = b.inputs.reshaped({b.labels.size(), 2});
       opt->zero_grad();
       const Tensor logits = net.forward(x);
-      epoch_loss += loss.forward(logits, b.labels);
+      epoch_loss += static_cast<double>(loss.forward(logits, b.labels));
       net.backward(loss.backward());
       opt->step();
       ++batches;
@@ -120,7 +120,7 @@ TEST(Training, LossDecreasesMonotonicallyOnAverage) {
     while (loader.next(b)) {
       Tensor x = b.inputs.reshaped({b.labels.size(), 2});
       opt.zero_grad();
-      acc += loss.forward(net.forward(x), b.labels);
+      acc += static_cast<double>(loss.forward(net.forward(x), b.labels));
       net.backward(loss.backward());
       opt.step();
       ++n;

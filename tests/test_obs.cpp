@@ -136,8 +136,9 @@ TEST(ObsHistogram, BucketBoundsContainTheirValues) {
     const std::size_t idx = obs::Histogram::bucket_index(v);
     ASSERT_LT(idx, obs::Histogram::kBuckets);
     EXPECT_GE(v, obs::Histogram::bucket_lower(idx)) << "value " << v;
-    if (idx + 1 < obs::Histogram::kBuckets)
+    if (idx + 1 < obs::Histogram::kBuckets) {
       EXPECT_LT(v, obs::Histogram::bucket_lower(idx + 1)) << "value " << v;
+    }
     const std::uint64_t mid = obs::Histogram::bucket_midpoint(idx);
     EXPECT_EQ(obs::Histogram::bucket_index(mid), idx) << "value " << v;
   }
@@ -293,14 +294,21 @@ TEST(ObsSpan, NestingDepthAndContainment) {
 
 TEST(ObsTraceRing, OverwritesOldestAtCapacity) {
   obs::TraceRing ring(4);
-  for (std::uint64_t i = 0; i < 10; ++i)
-    ring.push({"e" + std::to_string(i), i, 1, 0});
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    std::string name("e");
+    name += std::to_string(i);
+    ring.push({name, i, 1, 0});
+  }
   EXPECT_EQ(ring.total_pushed(), 10u);
   const auto events = ring.dump();
   ASSERT_EQ(events.size(), 4u);
   // Oldest-first dump of the survivors: e6..e9.
-  for (std::size_t i = 0; i < 4; ++i)
-    EXPECT_EQ(events[i].name, "e" + std::to_string(6 + i));
+  for (std::size_t i = 0; i < 4; ++i) {
+    // += form sidesteps gcc 12's spurious -Wrestrict on the inlined append.
+    std::string expect("e");
+    expect += std::to_string(6 + i);
+    EXPECT_EQ(events[i].name, expect);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -42,8 +42,9 @@ TEST(SampleRing, AbsoluteIndexingSurvivesDiscards) {
     EXPECT_FLOAT_EQ(view[i], static_cast<float>(12000 + i));
 
   // Discarded samples are gone once compaction ran past them.
-  if (ring.oldest() > 0)
+  if (ring.oldest() > 0) {
     EXPECT_THROW(ring.view(0, 10), Error);
+  }
   // Future samples are never readable.
   EXPECT_THROW(ring.view(19990, 20), Error);
 }

@@ -207,7 +207,7 @@ TEST(Acquisition, QuantizationSnapsToAdcGrid) {
   acq.apply(samples);
   const double step = 1.5 / 15.0;
   for (float v : samples) {
-    const double code = v / step;
+    const double code = static_cast<double>(v) / step;
     EXPECT_NEAR(code, std::round(code), 1e-4);
   }
 }

@@ -1,0 +1,371 @@
+#!/usr/bin/env python3
+"""scalocate custom lint: repo contracts no generic analyzer knows about.
+
+Four rules, each enforcing an invariant a previous PR established and that
+clang-tidy / compiler warnings cannot see:
+
+  memory-order    std::memory_order uses are confined to an allowlisted set
+                  of audited lock-free files, so relaxed-atomic code cannot
+                  spread through the tree unreviewed.
+  error-taxonomy  every class deriving from scalocate::Error either carries
+                  the Transient mixin or is named in the terminal-errors
+                  list in src/common/error.hpp, so api::with_retry can
+                  never silently misclassify a new exception type.
+  metric-drift    every obs metric-name string literal registered in src/
+                  appears in the README "Observability" table, and every
+                  instrument the table documents is registered somewhere in
+                  src/ (bidirectional; dynamically-built names are declared
+                  in DYNAMIC_METRIC_LEAVES with a justification).
+  header-using    headers contain no `using namespace` at namespace scope
+                  (function-local is fine); a header-level using-directive
+                  injects names into every includer.
+
+Usage:  python3 tools/scalocate_lint.py [--root DIR] [--rule NAME]
+Exit status is non-zero iff any finding is reported. Run from anywhere;
+--root defaults to the repository root (the parent of this file's dir).
+
+tests/test_lint.py proves each rule both fires and passes on fixture
+snippets; ctest runs that self-test plus this script against the tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# ---------------------------------------------------------------------------
+# Rule: memory-order
+# ---------------------------------------------------------------------------
+
+# Files (path prefixes relative to the repo root, '/'-separated) where
+# std::memory_order is allowed, each with the audit rationale. Extending
+# lock-free code into a new file means auditing it and adding it here with
+# a justification — that review step is the point of the rule.
+MEMORY_ORDER_ALLOWLIST = {
+    "src/obs/": "lock-free telemetry hot path is the subsystem's contract: "
+                "relaxed counters/gauges, per-thread histogram shards "
+                "(audited in the obs PR)",
+    "src/runtime/fault_injector.": "site arming flags are read on every "
+                                   "hot-path probe; relaxed reads, "
+                                   "release publication",
+    "src/runtime/thread_pool.": "pool stop/quiesce flags polled by workers",
+    "src/runtime/locator_service.cpp": "job cancel/deadline flags and "
+                                       "queue-depth watermark polled by "
+                                       "workers without the queue mutex",
+    "src/nn/kernels/parallel.cpp": "intra-op work distribution: chunk "
+                                   "counter fetch_add and completion "
+                                   "latch (audited in the parallel-GEMM "
+                                   "PR, raced under TSan in CI)",
+}
+
+
+def _strip_line_comments(line: str) -> str:
+    return line.split("//", 1)[0]
+
+
+def _cxx_files(root: Path) -> list[Path]:
+    src = root / "src"
+    if not src.is_dir():
+        return []
+    return sorted(p for p in src.rglob("*") if p.suffix in (".cpp", ".hpp"))
+
+
+def check_memory_order(root: Path) -> list[str]:
+    findings = []
+    for path in _cxx_files(root):
+        rel = path.relative_to(root).as_posix()
+        if any(rel.startswith(prefix) for prefix in MEMORY_ORDER_ALLOWLIST):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if "memory_order" in _strip_line_comments(line):
+                findings.append(
+                    f"{rel}:{lineno}: [memory-order] std::memory_order "
+                    f"outside the audited lock-free allowlist; audit the "
+                    f"file and add it to MEMORY_ORDER_ALLOWLIST in "
+                    f"tools/scalocate_lint.py with a justification")
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: error-taxonomy
+# ---------------------------------------------------------------------------
+
+_TERMINAL_BEGIN = "scalocate-lint: terminal-errors"
+_TERMINAL_END = "scalocate-lint: end-terminal-errors"
+
+# `class X final : bases {` / `struct X : bases {` — possibly spanning lines.
+_CLASS_DECL = re.compile(
+    r"\b(class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?:\s*([^{;]+)\{")
+
+
+def _parse_terminal_list(root: Path) -> tuple[set[str], str | None]:
+    """Returns (terminal class names, error-or-None)."""
+    hpp = root / "src" / "common" / "error.hpp"
+    if not hpp.is_file():
+        return set(), f"{hpp.relative_to(root).as_posix()}: missing"
+    text = hpp.read_text()
+    begin = text.find(_TERMINAL_BEGIN)
+    end = text.find(_TERMINAL_END)
+    if begin < 0 or end < begin:
+        return set(), (f"src/common/error.hpp: no '{_TERMINAL_BEGIN}' ... "
+                       f"'{_TERMINAL_END}' block to parse")
+    names = set(re.findall(r"[A-Za-z_]\w*",
+                           text[begin + len(_TERMINAL_BEGIN):end]))
+    return names, None
+
+
+def _class_hierarchy(root: Path) -> dict[str, set[str]]:
+    """Maps class name -> direct base names (namespace-qualifiers stripped),
+    across all C++ files under src/."""
+    bases_of: dict[str, set[str]] = {}
+    for path in _cxx_files(root):
+        # Strip line comments so commented-out declarations don't parse.
+        text = "\n".join(_strip_line_comments(l)
+                         for l in path.read_text().splitlines())
+        for m in _CLASS_DECL.finditer(text):
+            name = m.group(2)
+            bases = set()
+            for piece in m.group(3).split(","):
+                piece = re.sub(r"\b(public|protected|private|virtual)\b",
+                               "", piece).strip()
+                if piece:
+                    bases.add(piece.split("<")[0].split("::")[-1].strip())
+            bases_of.setdefault(name, set()).update(bases)
+    return bases_of
+
+
+def _derives_from(name: str, target: str,
+                  bases_of: dict[str, set[str]]) -> bool:
+    seen, stack = set(), [name]
+    while stack:
+        cur = stack.pop()
+        if cur in seen:
+            continue
+        seen.add(cur)
+        for base in bases_of.get(cur, ()):
+            if base == target:
+                return True
+            stack.append(base)
+    return False
+
+
+def check_error_taxonomy(root: Path) -> list[str]:
+    terminal, err = _parse_terminal_list(root)
+    if err:
+        return [f"{err} [error-taxonomy]"]
+    bases_of = _class_hierarchy(root)
+    findings = []
+    error_classes = sorted(
+        n for n in bases_of
+        if n != "Error" and _derives_from(n, "Error", bases_of))
+    for name in error_classes:
+        transient = _derives_from(name, "Transient", bases_of)
+        if transient and name in terminal:
+            findings.append(
+                f"src/common/error.hpp: [error-taxonomy] {name} carries "
+                f"Transient but is also listed terminal; remove one")
+        elif not transient and name not in terminal:
+            findings.append(
+                f"[error-taxonomy] {name} derives from scalocate::Error but "
+                f"is neither Transient nor in the terminal-errors list in "
+                f"src/common/error.hpp; classify it so with_retry semantics "
+                f"stay total")
+    stale = terminal - set(error_classes)
+    for name in sorted(stale):
+        findings.append(
+            f"src/common/error.hpp: [error-taxonomy] terminal-errors lists "
+            f"'{name}' but no such Error subclass exists in src/")
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: metric-drift
+# ---------------------------------------------------------------------------
+
+# Instrument names that are assembled at runtime and therefore have no
+# single string literal for the code-side scan to find. Keyed by the name's
+# final dotted segment (the "leaf"); the value is where/why.
+DYNAMIC_METRIC_LEAVES = {
+    "ns": "kernels.<kind>.<m>x<n>x<k>.ns — per-shape timing histograms "
+          "built at runtime in src/nn/kernels/gemm.cpp shape_histogram()",
+}
+
+_REGISTRATION = re.compile(r"(?:counter|gauge|histogram)\s*\(([^()]*)\)")
+_STRING_LIT = re.compile(r'"([^"]*)"')
+_BACKTICKED = re.compile(r"`([^`]+)`")
+
+
+def _code_metric_literals(root: Path) -> dict[str, list[str]]:
+    """Maps leaf -> ['path:line', ...] for every metric-name string literal
+    passed to a counter()/gauge()/histogram() registration in src/."""
+    leaves: dict[str, list[str]] = {}
+    for path in _cxx_files(root):
+        rel = path.relative_to(root).as_posix()
+        text = path.read_text()
+        for m in _REGISTRATION.finditer(text):
+            for lit in _STRING_LIT.findall(m.group(1)):
+                if "." not in lit:
+                    continue  # ("gemm", m, n, k)-style args, not names
+                leaf = lit.rsplit(".", 1)[-1]
+                lineno = text.count("\n", 0, m.start()) + 1
+                leaves.setdefault(leaf, []).append(f"{rel}:{lineno}")
+    return leaves
+
+
+def _readme_metric_patterns(root: Path) -> tuple[set[str], str | None]:
+    """Backticked instrument names from the README Observability table,
+    with <placeholders> replaced by '*'. Returns (patterns, error)."""
+    readme = root / "README.md"
+    if not readme.is_file():
+        return set(), "README.md: missing"
+    lines = readme.read_text().splitlines()
+    try:
+        start = next(i for i, l in enumerate(lines)
+                     if l.strip() == "## Observability")
+    except StopIteration:
+        return set(), "README.md: no '## Observability' section"
+    patterns: set[str] = set()
+    for line in lines[start + 1:]:
+        if line.startswith("## "):
+            break
+        if not line.startswith("|") or set(line.strip("| ")) <= {"-"}:
+            continue
+        cells = line.split("|")
+        if len(cells) < 3:
+            continue
+        for token in _BACKTICKED.findall(cells[2]):
+            token = re.sub(r"<[^>]*>", "*", token)
+            if "." in token and re.fullmatch(r"[\w.*]+", token):
+                patterns.add(token)
+    if not patterns:
+        return set(), ("README.md: Observability table has no parseable "
+                       "instrument names")
+    return patterns, None
+
+
+def check_metric_drift(root: Path) -> list[str]:
+    patterns, err = _readme_metric_patterns(root)
+    if err:
+        return [f"{err} [metric-drift]"]
+    doc_leaves = {p.rsplit(".", 1)[-1] for p in patterns}
+    code_leaves = _code_metric_literals(root)
+    findings = []
+    for leaf, sites in sorted(code_leaves.items()):
+        if leaf not in doc_leaves:
+            findings.append(
+                f"{sites[0]}: [metric-drift] metric name '*.{leaf}' is "
+                f"registered in src/ but missing from the README "
+                f"Observability table")
+    for leaf in sorted(doc_leaves):
+        if leaf not in code_leaves and leaf not in DYNAMIC_METRIC_LEAVES:
+            findings.append(
+                f"README.md: [metric-drift] Observability table documents "
+                f"an instrument ending '.{leaf}' but no registration in "
+                f"src/ uses that name (if the name is built dynamically, "
+                f"declare it in DYNAMIC_METRIC_LEAVES in "
+                f"tools/scalocate_lint.py)")
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: header-using
+# ---------------------------------------------------------------------------
+
+def _strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals (preserving newlines) so
+    brace tracking and `using namespace` matching see only code."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.extend(ch if ch == "\n" else " " for ch in text[i:j])
+            i = j
+        elif c in "\"'":
+            quote, j = c, i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            i = min(j + 1, n)
+            out.append(" ")
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def check_header_using(root: Path) -> list[str]:
+    findings = []
+    for path in _cxx_files(root):
+        if path.suffix != ".hpp":
+            continue
+        rel = path.relative_to(root).as_posix()
+        text = _strip_comments_and_strings(path.read_text())
+        # Each '{' is a namespace brace iff the code before it ends with a
+        # namespace introducer; `using namespace` is at namespace scope iff
+        # every enclosing brace is a namespace brace.
+        depth_other = 0  # non-namespace braces currently open
+        stack = []
+        for m in re.finditer(r"[{}]|using\s+namespace\b", text):
+            tok = m.group(0)
+            if tok == "{":
+                is_ns = re.search(r"namespace\s+[\w:]*\s*$|namespace\s*$",
+                                  text[max(0, m.start() - 120):m.start()])
+                stack.append(bool(is_ns))
+                depth_other += 0 if is_ns else 1
+            elif tok == "}":
+                if stack and not stack.pop():
+                    depth_other -= 1
+            elif depth_other == 0:
+                lineno = text.count("\n", 0, m.start()) + 1
+                findings.append(
+                    f"{rel}:{lineno}: [header-using] `using namespace` at "
+                    f"namespace scope in a header injects names into every "
+                    f"includer; qualify the names or move the directive "
+                    f"into a function body")
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+RULES = {
+    "memory-order": check_memory_order,
+    "error-taxonomy": check_error_taxonomy,
+    "metric-drift": check_metric_drift,
+    "header-using": check_header_using,
+}
+
+
+def run(root: Path, rules=None) -> list[str]:
+    findings = []
+    for name in rules or RULES:
+        findings.extend(RULES[name](root))
+    return findings
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parent.parent,
+                    help="repository root (default: this file's parent dir)")
+    ap.add_argument("--rule", action="append", choices=sorted(RULES),
+                    help="run only this rule (repeatable; default: all)")
+    args = ap.parse_args(argv)
+    findings = run(args.root.resolve(), args.rule)
+    for f in findings:
+        print(f)
+    print(f"scalocate_lint: {len(findings)} finding(s) "
+          f"across {len(args.rule or RULES)} rule(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,16 +11,46 @@ namespace scalocate::api {
 // Stream
 // ---------------------------------------------------------------------------
 
+Stream::Stream(std::shared_ptr<detail::ModelEntry> entry,
+               StreamingConfig config)
+    : entry_(std::move(entry)), config_(std::move(config)) {
+  if (entry_->batcher)
+    batched_ = entry_->batcher->open_stream(config_);
+  else
+    streaming_ =
+        std::make_unique<runtime::StreamingLocator>(*entry_->locator, config_);
+}
+
 std::vector<Detection> Stream::feed(std::span<const float> chunk) {
-  const auto detections = streaming_.feed(chunk);
-  pending_.insert(pending_.end(), detections.begin(), detections.end());
+  if (batched_) {
+    // Wait-free ingest, then an opportunistic drain: whatever the batcher
+    // finalized so far (possibly from earlier chunks) is delivered now.
+    batched_->feed(chunk);
+    std::vector<Detection> drained;
+    batched_->poll(drained);
+    pending_.insert(pending_.end(), drained.begin(), drained.end());
+  } else {
+    const auto detections = streaming_->feed(chunk);
+    pending_.insert(pending_.end(), detections.begin(), detections.end());
+  }
   return deliver();
 }
 
 std::vector<Detection> Stream::finish() {
-  const auto detections = streaming_.finish();
+  const auto detections =
+      batched_ ? batched_->finish() : streaming_->finish();
   pending_.insert(pending_.end(), detections.begin(), detections.end());
   return deliver();
+}
+
+void Stream::reset() {
+  // The batched path has no in-place reset: the old BatchedStream detaches
+  // (the batcher prunes it next tick) and a fresh one takes its place.
+  if (batched_)
+    batched_ = entry_->batcher->open_stream(config_);
+  else
+    streaming_->reset();
+  pending_.clear();
 }
 
 std::vector<Detection> Stream::deliver() {
@@ -85,7 +115,9 @@ std::string metric_model_name(crypto::CipherId cipher) {
 }
 
 Engine::Engine(EngineConfig config)
-    : config_(config), pool_(runtime::resolve_workers(config.workers)) {}
+    : config_(config), pool_(runtime::resolve_workers(config.workers)) {
+  if (config_.registry) pool_.attach_metrics(*config_.registry);
+}
 
 Engine::~Engine() = default;
 
@@ -95,6 +127,17 @@ crypto::CipherId Engine::register_entry(
                   "Engine: model must be trained");
   const auto cipher = entry->locator->config().params.cipher;
   if (entry->registry) entry->stream_prefix = "stream." + metric_model_name(cipher);
+  if (config_.max_batch_windows > 0) {
+    runtime::BatchConfig bc;
+    bc.max_batch_windows = config_.max_batch_windows;
+    bc.batch_linger = std::chrono::microseconds(config_.batch_linger_us);
+    bc.intra_op_threads = config_.batch_intra_op_threads;
+    bc.registry = config_.registry;
+    if (config_.registry)
+      bc.metric_prefix = "batch." + metric_model_name(cipher);
+    entry->batcher =
+        std::make_unique<runtime::WindowBatcher>(*entry->locator, bc);
+  }
   // A replaced entry may hold the last reference to a service with jobs
   // still in flight; its drain() must run after the registry lock is
   // released, or a hot-swap would stall every other Engine operation.
@@ -116,6 +159,9 @@ runtime::ServiceConfig Engine::service_config(crypto::CipherId cipher) const {
   cfg.watchdog_p99_multiple = config_.watchdog_p99_multiple;
   cfg.watchdog_min_samples = config_.watchdog_min_samples;
   cfg.intra_op_threads = config_.intra_op_threads;
+  cfg.max_batch_windows = config_.max_batch_windows;
+  cfg.batch_linger_us = config_.batch_linger_us;
+  cfg.batch_intra_op_threads = config_.batch_intra_op_threads;
   if (config_.registry) {
     cfg.registry = config_.registry;
     cfg.metric_prefix = "engine." + metric_model_name(cipher);

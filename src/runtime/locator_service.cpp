@@ -55,8 +55,12 @@ LocatorService::LocatorService(const core::CoLocator& locator,
       watchdog_poll_(config.watchdog_poll) {
   detail::require(locator_.is_trained(),
                   "LocatorService: locator must be trained");
-  if (config.registry)
+  if (config.registry) {
     metrics_ = ServiceMetrics::resolve(*config.registry, config.metric_prefix);
+    // The service owns this pool, so it also owns publishing the pool's
+    // instruments (an external pool's owner — api::Engine — wires its own).
+    owned_pool_->attach_metrics(*config.registry);
+  }
   start_watchdog();
 }
 

@@ -1,0 +1,141 @@
+// Wait-free single-producer/single-consumer sample ring: the ingest half
+// of a batched stream.
+//
+// StreamingLocator::feed used to do ingest AND scoring on the caller's
+// thread. Under cross-session batching those halves run on different
+// threads: the session thread pushes raw samples here (wait-free — the
+// producer never takes a lock, never allocates, never waits on the
+// scheduler), and the WindowBatcher thread drains them into the scoring
+// core's SampleRing when it assembles the next shared GEMM batch.
+//
+// Why this class exists NEXT TO SampleRing instead of replacing it (the
+// two look similar but answer different questions):
+//
+//   SampleRing  single-threaded, unbounded, absolute-indexed, and above
+//               all CONTIGUOUS: the scorer and the fine-alignment snap take
+//               std::span views addressed by absolute stream position, so
+//               the storage must present the live tail as one block and
+//               may grow/compact as the pipeline's reach dictates.
+//   SpscRing    cross-thread, bounded, wrap-around: a fixed power-of-two
+//               buffer with monotonically increasing head/tail counters.
+//               Samples wrap, so there is no contiguous random access —
+//               only FIFO transfer. Bounding is the point: a fixed
+//               capacity is what makes the producer wait-free (no
+//               reallocation) and gives the serving plane a per-stream
+//               memory budget with natural backpressure when the scheduler
+//               falls behind.
+//
+// Making SampleRing wrap this storage would force a fixed capacity and
+// wrap-aware (two-piece) views onto every consumer of the scoring
+// pipeline; keeping the transfer queue and the random-access tail separate
+// keeps both simple. The overflow/wrap behavior here is stress-tested in
+// tests/test_fleet.cpp, mirroring the SampleRing::view overflow regression
+// suite from the scenario-hardening PR.
+//
+// Memory model: `tail_` is written only by the producer (release) and read
+// by the consumer (acquire); `head_` the other way around. Both are
+// monotonic uint64 stream positions, so occupancy is tail - head and
+// indices never wrap (2^64 samples is centuries of ingest).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace scalocate::runtime {
+
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 64 samples).
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 64;
+    while (cap < min_capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+
+  // -- producer side (exactly one thread) ----------------------------------
+
+  /// Appends as much of `chunk` as fits; returns the number of samples
+  /// accepted (a prefix — the caller retries the rest once the consumer
+  /// drains). Wait-free: one acquire load, a copy, one release store.
+  std::size_t try_push(std::span<const float> chunk) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t free_slots =
+        buf_.size() - static_cast<std::size_t>(tail - head);
+    const std::size_t n = chunk.size() < free_slots ? chunk.size() : free_slots;
+    if (n == 0) return 0;
+    const std::size_t at = static_cast<std::size_t>(tail) & mask_;
+    const std::size_t first = std::min(n, buf_.size() - at);
+    std::memcpy(buf_.data() + at, chunk.data(), first * sizeof(float));
+    if (n > first)
+      std::memcpy(buf_.data(), chunk.data() + first,
+                  (n - first) * sizeof(float));
+    tail_.store(tail + n, std::memory_order_release);
+    // Producer-only write: the deepest occupancy this ring ever reached
+    // (sampled right after the push, when it is largest).
+    const std::size_t occupied = static_cast<std::size_t>(tail + n - head);
+    if (occupied > high_water_.load(std::memory_order_relaxed))
+      high_water_.store(occupied, std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Total samples ever accepted (producer-side absolute stream position).
+  std::uint64_t pushed() const {
+    return tail_.load(std::memory_order_relaxed);
+  }
+
+  // -- consumer side (exactly one thread) ----------------------------------
+
+  /// Moves every available sample out of the ring via `sink`, which is
+  /// invoked with one or two contiguous spans (two when the data wraps).
+  /// Returns the number of samples drained.
+  template <typename Sink>
+  std::size_t drain(Sink&& sink) {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t n = static_cast<std::size_t>(tail - head);
+    if (n == 0) return 0;
+    const std::size_t at = static_cast<std::size_t>(head) & mask_;
+    const std::size_t first = std::min(n, buf_.size() - at);
+    sink(std::span<const float>(buf_.data() + at, first));
+    if (n > first) sink(std::span<const float>(buf_.data(), n - first));
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  // -- observers (any thread; instantaneous snapshots) ----------------------
+
+  /// Samples currently in the ring. Exact once producer and consumer
+  /// quiesce; a live read may lag either side by an in-flight batch.
+  std::size_t size_approx() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  /// Deepest occupancy ever observed (the ingest-ring high-watermark the
+  /// batch telemetry reports).
+  std::size_t high_watermark() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<float> buf_;
+  std::size_t mask_ = 0;
+  // Separate cache lines so producer stores never invalidate the consumer's
+  // head line and vice versa.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< producer position
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer position
+  alignas(64) std::atomic<std::size_t> high_water_{0};
+};
+
+}  // namespace scalocate::runtime

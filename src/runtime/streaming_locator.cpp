@@ -102,31 +102,40 @@ std::vector<Detection> StreamingLocator::feed(std::span<const float> chunk) {
   if (FaultInjector::instance().poison("stream.feed", chunk, sanitize_buf_))
     data = sanitize_buf_;
 
-  std::size_t bad = 0;
-  for (const float sample : data)
-    if (!std::isfinite(sample)) ++bad;
-  if (bad > 0) {
-    corrupt_samples_ += bad;
-    if (metrics_.enabled()) metrics_.corrupt_samples->add(bad);
+  const ScrubResult scrub = scrub_non_finite(data, nan_policy_, sanitize_buf_);
+  if (scrub.bad > 0) {
+    corrupt_samples_ += scrub.bad;
+    if (metrics_.enabled()) metrics_.corrupt_samples->add(scrub.bad);
     if (nan_policy_ == StreamingConfig::NanPolicy::kReject)
       // Stream state untouched: the bad chunk is simply not part of the
       // stream, so the caller can keep feeding clean chunks and parity
       // with offline locate over the accepted samples holds.
       throw CorruptSignal("StreamingLocator::feed: chunk contains " +
-                          std::to_string(bad) +
+                          std::to_string(scrub.bad) +
                           " non-finite sample(s); nan_policy is kReject");
-    if (data.data() != sanitize_buf_.data())
-      sanitize_buf_.assign(data.begin(), data.end());
-    for (float& sample : sanitize_buf_)
-      if (!std::isfinite(sample)) sample = 0.0f;
-    data = sanitize_buf_;
   }
+  data = scrub.data;
 
   if (metrics_.enabled()) metrics_.samples_fed->add(data.size());
   ring_.append(data);
   std::vector<Detection> out;
   pump(/*eof=*/false, out);
   return out;
+}
+
+StreamingLocator::ScrubResult StreamingLocator::scrub_non_finite(
+    std::span<const float> chunk, StreamingConfig::NanPolicy policy,
+    std::vector<float>& scratch) {
+  ScrubResult r{chunk, 0};
+  for (const float sample : chunk)
+    if (!std::isfinite(sample)) ++r.bad;
+  if (r.bad == 0 || policy == StreamingConfig::NanPolicy::kReject) return r;
+  if (chunk.data() != scratch.data())
+    scratch.assign(chunk.begin(), chunk.end());
+  for (float& sample : scratch)
+    if (!std::isfinite(sample)) sample = 0.0f;
+  r.data = scratch;
+  return r;
 }
 
 std::vector<Detection> StreamingLocator::finish() {
@@ -149,27 +158,72 @@ void StreamingLocator::score_ready_windows() {
   // Score every window fully contained in the stream so far, in batches.
   // Each CNN row is computed independently of its batch neighbors, so the
   // scores match the offline classifier regardless of how the chunk
-  // boundaries happen to group the windows.
-  while (next_window_ * stride_ + window_ <= ring_.size()) {
-    std::size_t count = 0;
-    while (count < batch_size_ &&
-           (next_window_ + count) * stride_ + window_ <= ring_.size())
-      ++count;
+  // boundaries happen to group the windows. The ready_windows() /
+  // ready_window() / ingest_scores() trio is the same surface an external
+  // scheduler (runtime::WindowBatcher) drives, so the self-scoring and
+  // batched paths share one code path end to end.
+  std::size_t ready = 0;
+  while ((ready = ready_windows()) > 0) {
+    const std::size_t count = std::min(ready, batch_size_);
     // Standardize each window straight from the ring into the workspace's
     // staging tensor — the identical zero-copy batch path the offline
     // SlidingWindowClassifier::score_into uses.
     scores_buf_.resize(count);
     classifier_.score_window_batch(
-        count,
-        [&](std::size_t i) {
-          return ring_.view((next_window_ + i) * stride_, window_);
-        },
+        count, [&](std::size_t i) { return ready_window(i); },
         scores_buf_.data(), ws_);
-    for (std::size_t i = 0; i < count; ++i)
-      square_.push_back(scores_buf_[i] >= threshold_ ? 1.0f : -1.0f);
-    next_window_ += count;
-    if (metrics_.enabled()) metrics_.windows_scored->add(count);
+    ingest_scores({scores_buf_.data(), count});
   }
+}
+
+void StreamingLocator::ingest_scores(std::span<const float> scores) {
+  for (const float score : scores)
+    square_.push_back(score >= threshold_ ? 1.0f : -1.0f);
+  next_window_ += scores.size();
+  if (metrics_.enabled()) metrics_.windows_scored->add(scores.size());
+}
+
+void StreamingLocator::append_ingested(std::span<const float> chunk) {
+  detail::require(!finished_,
+                  "StreamingLocator::append_ingested after finish");
+  if (metrics_.enabled()) metrics_.samples_fed->add(chunk.size());
+  ring_.append(chunk);
+}
+
+std::size_t StreamingLocator::ready_windows() const {
+  const std::size_t n = ring_.size();
+  if (n < window_) return 0;
+  const std::size_t total = (n - window_) / stride_ + 1;
+  return total > next_window_ ? total - next_window_ : 0;
+}
+
+std::span<const float> StreamingLocator::ready_window(std::size_t i) const {
+  return ring_.view((next_window_ + i) * stride_, window_);
+}
+
+void StreamingLocator::accept_scores(std::span<const float> scores,
+                                     std::vector<Detection>& out) {
+  detail::require(!finished_,
+                  "StreamingLocator::accept_scores after finish");
+  detail::require(scores.size() <= ready_windows(),
+                  "StreamingLocator::accept_scores: more scores than ready "
+                  "windows");
+  ingest_scores(scores);
+  emit_filtered(/*eof=*/false);
+  refine_ready_edges(/*eof=*/false);
+  release_pending(/*eof=*/false, out);
+  trim_ring();
+}
+
+void StreamingLocator::finish_into(std::vector<Detection>& out) {
+  detail::require(!finished_, "StreamingLocator::finish_into called twice");
+  detail::require(ready_windows() == 0,
+                  "StreamingLocator::finish_into with unscored ready windows "
+                  "(the scheduler must flush first)");
+  emit_filtered(/*eof=*/true);
+  refine_ready_edges(/*eof=*/true);
+  release_pending(/*eof=*/true, out);
+  finished_ = true;
 }
 
 void StreamingLocator::emit_filtered(bool eof) {

@@ -26,11 +26,22 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+void ThreadPool::attach_metrics(obs::Registry& registry,
+                                const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tasks_ = &registry.counter(prefix + ".tasks");
+  queue_depth_ = &registry.gauge(prefix + ".queue_depth");
+}
+
 void ThreadPool::post(Task task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     detail::require(!stopping_, "ThreadPool::post after shutdown");
     queue_.push_back(std::move(task));
+    if (tasks_) {
+      tasks_->add();
+      queue_depth_->add();
+    }
   }
   wake_.notify_one();
 }
@@ -54,6 +65,7 @@ void ThreadPool::worker_loop(std::size_t index) {
       if (queue_.empty()) return;  // stopping_ with nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (queue_depth_) queue_depth_->sub();
       ++active_;
     }
     try {

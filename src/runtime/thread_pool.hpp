@@ -13,8 +13,11 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/registry.hpp"
 
 namespace scalocate::runtime {
 
@@ -53,6 +56,16 @@ class ThreadPool {
 
   std::size_t worker_count() const { return workers_.size(); }
 
+  /// Publishes the pool's instruments into `registry`: a
+  /// `<prefix>.queue_depth` gauge (tasks enqueued but not yet started; its
+  /// max is the deepest backlog ever) and a `<prefix>.tasks` counter (every
+  /// task posted). Pools sharing a registry and prefix aggregate into the
+  /// same instruments. Call before the pool is loaded (the wiring itself
+  /// is guarded by the pool mutex, but instruments attach mid-stream
+  /// see only later tasks). The registry must outlive the pool.
+  void attach_metrics(obs::Registry& registry,
+                      const std::string& prefix = "pool");
+
   /// Tasks enqueued but not yet started (diagnostic).
   std::size_t pending() const;
 
@@ -69,6 +82,8 @@ class ThreadPool {
   std::deque<Task> queue_;
   std::size_t active_ = 0;
   bool stopping_ = false;
+  obs::Counter* tasks_ = nullptr;       ///< null = telemetry off
+  obs::Gauge* queue_depth_ = nullptr;   ///< mirrors queue_.size()
 };
 
 }  // namespace scalocate::runtime

@@ -1,0 +1,265 @@
+// WindowBatcher: cross-session dynamic batching for the serving plane.
+//
+// Per-session scoring (StreamingLocator::feed) does one CNN forward pass
+// per session per chunk; with thousands of trickle-fed sessions each pass
+// carries a handful of windows and the batched-GEMM backend runs at
+// batch-1 efficiency. The batcher turns window scoring into a shared,
+// batched resource:
+//
+//   session threads          scheduler thread              shared compute
+//   ---------------          ----------------              --------------
+//   feed() -> SpscRing  -->  drain rings into each         one
+//   (wait-free ingest,       stream's scoring core,        score_window_batch
+//    never takes a lock)     stage ready windows      -->  GEMM per tick,
+//                            across ALL sessions           IntraOpGuard
+//                       <--  demux scores per stream,      fan-out
+//   poll()/finish()          advance each pipeline,
+//                            deliver detections
+//
+// Flush policy: a staged batch is scored when it reaches
+// `max_batch_windows` (full), when a stream that signalled end-of-stream
+// has windows in it (eof — finish() never waits on the linger), or when
+// `batch_linger` has elapsed since windows first became ready (linger —
+// the latency bound a partially filled batch pays).
+//
+// Bit-identical by construction: score_window_batch standardizes and
+// scores every row independently of its batch neighbors (the
+// batch-composition invariance the offline/streaming parity suite proves),
+// and each stream's scores are handed back to its own StreamingLocator
+// core via accept_scores — the identical downstream pipeline the
+// self-scoring path runs. Detections therefore match the unbatched and
+// offline paths exactly, for every interleaving of sessions and every
+// batch composition; tests/test_fleet.cpp asserts this and bench_fleet
+// exits nonzero on divergence.
+//
+// Failure isolation: a fault injected at the per-stream "batch.stage" site
+// (or thrown by one stream's pipeline) fails THAT stream — its producer
+// sees the typed error on its next feed()/poll()/finish() — while
+// batchmates keep scoring, bit-identically.
+//
+// Threading contract: feed() is wait-free for the producer (one SPSC push;
+// under ring backpressure it spins with yield, still lock-free).
+// poll()/finish() take a short per-stream mutex to collect results — the
+// cold path; samples never cross it. One thread per stream on the producer
+// side (the SPSC contract); different streams may be fed from different
+// threads concurrently. The batcher must outlive its streams' use: the
+// api::Engine guarantees this by owning the batcher inside the model entry
+// every api::Stream keeps alive.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/locator.hpp"
+#include "core/sliding_window.hpp"
+#include "obs/registry.hpp"
+#include "runtime/spsc_ring.hpp"
+#include "runtime/streaming_locator.hpp"
+
+namespace scalocate::runtime {
+
+class WindowBatcher;
+
+struct BatchConfig {
+  /// Windows coalesced into one shared GEMM at most. The knee of the GEMM
+  /// efficiency curve (see BENCH_fleet.json) — bigger batches amortize
+  /// better but hold early windows longer.
+  std::size_t max_batch_windows = 256;
+  /// How long a partially filled batch may wait for more windows before it
+  /// is flushed anyway. The latency bound a quiet fleet pays; 0 = flush
+  /// every tick.
+  std::chrono::microseconds batch_linger{200};
+  /// Per-stream ingest ring capacity in samples (rounded up to a power of
+  /// two). Bounds fleet memory: a full ring back-pressures its producer.
+  std::size_t ingest_capacity = 4096;
+  /// Intra-op kernel fan-out of the shared batch GEMM (see
+  /// nn/kernels/parallel.hpp). 0 = process default (SCALOCATE_THREADS):
+  /// unlike per-job scoring, the batcher IS the model's shared compute
+  /// path, so it defaults wide. Detections are bit-identical at every
+  /// setting.
+  std::size_t intra_op_threads = 0;
+  /// Telemetry sink (must outlive the batcher). Null = telemetry off.
+  obs::Registry* registry = nullptr;
+  /// Instrument name prefix, e.g. "batch.aes128" (default "batch").
+  std::string metric_prefix;
+};
+
+/// Resolved batcher instrument set (README "Observability" lists them).
+struct BatchMetrics {
+  obs::Counter* coalesced_windows = nullptr;  ///< windows scored via shared GEMMs
+  obs::Counter* batches = nullptr;            ///< shared GEMM flushes
+  obs::Counter* flush_full = nullptr;         ///< flushes at max_batch_windows
+  obs::Counter* flush_linger = nullptr;       ///< flushes forced by the linger
+  obs::Counter* flush_eof = nullptr;          ///< flushes forced by finish()
+  obs::Gauge* sessions = nullptr;             ///< attached streams (max = peak)
+  /// Deepest per-stream ingest-ring occupancy seen last tick; the gauge max
+  /// is the all-time ingest-ring high-watermark (backpressure proximity).
+  obs::Gauge* ingest_resident_samples = nullptr;
+  obs::Histogram* occupancy_windows = nullptr;  ///< windows per flushed batch
+
+  bool enabled() const { return coalesced_windows != nullptr; }
+  static BatchMetrics resolve(obs::Registry& registry,
+                              const std::string& prefix);
+};
+
+/// One session's stream routed through a WindowBatcher. Created by
+/// WindowBatcher::open_stream; the producer side (feed/poll/finish) is
+/// single-threaded, the scoring side runs on the batcher's scheduler
+/// thread.
+class BatchedStream {
+ public:
+  /// Pushes a chunk of samples into the ingest ring. Applies the stream's
+  /// NanPolicy on the producer thread (kReject throws CorruptSignal with
+  /// the ring untouched; kSanitize scrubs), then hands the samples to the
+  /// scheduler wait-free. A full ring spins with yield until the scheduler
+  /// drains (bounded-memory backpressure). Rethrows this stream's typed
+  /// error if the scheduler failed it (fault injection, pipeline error).
+  void feed(std::span<const float> chunk);
+
+  /// Appends every detection finalized so far to `out` (detections arrive
+  /// asynchronously, a flush after the chunk that completed them). Rethrows
+  /// this stream's error after draining, so already-final detections are
+  /// never lost to a later failure.
+  void poll(std::vector<Detection>& out);
+
+  /// Signals end-of-stream, blocks until the scheduler has scored every
+  /// remaining window and drained the pipeline tail, and returns the
+  /// remaining detections. The scheduler flushes eof windows immediately
+  /// (never waits on the linger).
+  std::vector<Detection> finish();
+
+  // Asynchronous snapshots (safe from the producer thread; the scoring
+  // side may be mid-tick).
+  std::size_t samples_consumed() const {
+    return static_cast<std::size_t>(ingest_.pushed());
+  }
+  std::size_t resident_samples() const {
+    return resident_.load(std::memory_order_relaxed);
+  }
+  std::size_t corrupt_samples() const {
+    return corrupt_.load(std::memory_order_relaxed);
+  }
+  std::size_t ingest_high_watermark() const {
+    return ingest_.high_watermark();
+  }
+  float threshold() const { return core_.threshold(); }
+  std::size_t median_k() const { return core_.median_k(); }
+
+ private:
+  friend class WindowBatcher;
+  BatchedStream(WindowBatcher& owner, const core::CoLocator& locator,
+                const StreamingConfig& config);
+
+  [[noreturn]] void rethrow_error();
+
+  WindowBatcher& owner_;
+  StreamingConfig::NanPolicy nan_policy_;
+  SpscRing ingest_;
+
+  // Scheduler-thread state: the scoring core and its bookkeeping. Touched
+  // only by the batcher thread after open_stream returns.
+  StreamingLocator core_;
+  bool sched_eof_done_ = false;
+
+  // Producer-thread state.
+  std::vector<float> scrub_;  ///< NaN-scrub / poison scratch
+  bool finish_called_ = false;
+
+  // Cross-thread.
+  std::atomic<bool> eof_requested_{false};
+  std::atomic<bool> failed_{false};  ///< error_ published under mutex_
+  std::atomic<std::size_t> corrupt_{0};
+  std::atomic<std::size_t> resident_{0};
+  obs::Counter* corrupt_counter_ = nullptr;  ///< stream.<model>.corrupt_samples
+
+  // Result hand-off (cold path): the scheduler pushes finalized detections
+  // and the terminal eof/error states under this mutex; cv wakes finish().
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Detection> ready_;
+  std::exception_ptr error_;
+  bool eof_done_ = false;
+};
+
+class WindowBatcher {
+ public:
+  /// `locator` must be trained and outlive the batcher. Spawns the
+  /// scheduler thread immediately.
+  explicit WindowBatcher(const core::CoLocator& locator,
+                         BatchConfig config = {});
+  /// Fails any stream still attached (a blocked finish() wakes with the
+  /// error), then joins the scheduler thread.
+  ~WindowBatcher();
+
+  WindowBatcher(const WindowBatcher&) = delete;
+  WindowBatcher& operator=(const WindowBatcher&) = delete;
+
+  /// Opens a stream whose windows are scored through the shared batch.
+  /// `config` carries the same per-stream knobs as the self-scoring path
+  /// (NanPolicy, threshold override, telemetry wiring); batch_size is
+  /// unused — the batcher's max_batch_windows governs.
+  std::shared_ptr<BatchedStream> open_stream(StreamingConfig config = {});
+
+  const BatchMetrics& metrics() const { return metrics_; }
+  std::size_t max_batch_windows() const { return config_.max_batch_windows; }
+  std::chrono::microseconds batch_linger() const {
+    return config_.batch_linger;
+  }
+
+ private:
+  friend class BatchedStream;
+
+  /// Producer-side wakeup: a relaxed flag plus a notify, never a lock (the
+  /// scheduler's timed wait bounds a lost wakeup by one linger period).
+  void notify();
+
+  void run();
+  /// One scheduler pass: drain ingest rings, stage ready windows across
+  /// sessions, flush per policy, process eofs. Returns true when it made
+  /// progress that may have left more work ready (run again immediately).
+  bool tick();
+  void fail_stream(BatchedStream& stream, std::exception_ptr error);
+  /// Fails every attached stream that is not already terminal (scheduler
+  /// death, batcher teardown with open streams).
+  void fail_all(std::exception_ptr error);
+  void deliver(BatchedStream& stream, std::vector<Detection>& detections);
+
+  const core::CoLocator& locator_;
+  core::SlidingWindowClassifier classifier_;
+  nn::Workspace ws_;
+  BatchConfig config_;
+  BatchMetrics metrics_;
+
+  std::mutex streams_mutex_;
+  std::vector<std::weak_ptr<BatchedStream>> streams_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> work_{false};
+  std::atomic<bool> stop_{false};
+
+  // Scheduler-thread scratch.
+  struct Staged {
+    BatchedStream* stream;
+    std::size_t count;
+  };
+  std::vector<std::shared_ptr<BatchedStream>> live_;
+  std::vector<Staged> staged_;
+  std::vector<std::span<const float>> rows_;
+  std::vector<float> scores_;
+  std::vector<Detection> dets_;
+  std::chrono::steady_clock::time_point pending_since_{};
+  bool linger_armed_ = false;
+
+  std::thread scheduler_;  ///< last member: started once state is ready
+};
+
+}  // namespace scalocate::runtime

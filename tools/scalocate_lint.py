@@ -51,6 +51,15 @@ MEMORY_ORDER_ALLOWLIST = {
                                    "hot-path probe; relaxed reads, "
                                    "release publication",
     "src/runtime/thread_pool.": "pool stop/quiesce flags polled by workers",
+    "src/runtime/spsc_ring.hpp": "wait-free SPSC ingest ring: "
+                                 "acquire/release head/tail hand-off "
+                                 "(audited in the fleet-batching PR, raced "
+                                 "under TSan in CI)",
+    "src/runtime/window_batcher.": "cross-session batcher: eof/failed/stat "
+                                   "flags exchanged between session "
+                                   "producers and the scheduler thread "
+                                   "(audited in the fleet-batching PR, "
+                                   "raced under TSan in CI)",
     "src/runtime/locator_service.cpp": "job cancel/deadline flags and "
                                        "queue-depth watermark polled by "
                                        "workers without the queue mutex",
